@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Ablation: the Section 3.1 direct-reflect extension ("SVt could
+ * selectively bypass some virtualization levels when triggering a VM
+ * trap to bring performance even closer to systems with full hardware
+ * support for nested virtualization").
+ *
+ * With the bypass, whitelisted L2 exits (cpuid, rdmsr, vmcall, pause)
+ * retarget fetch straight to the L1 context; L0 is only entered when
+ * the L1 handler itself traps.
+ */
+
+#include <cstdio>
+
+#include "stats/table.h"
+#include "system/nested_system.h"
+#include "workloads/microbench.h"
+
+using namespace svtsim;
+
+namespace {
+
+double
+cpuidUsec(VirtMode mode, bool bypass, std::uint64_t &direct)
+{
+    StackConfig cfg;
+    cfg.svtDirectReflect = bypass;
+    NestedSystem sys(mode, cfg);
+    auto r = CpuidMicrobench::run(sys.machine(), sys.api());
+    direct = sys.machine().counter("l0.direct_reflect");
+    return r.meanUsec;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::uint64_t d0 = 0, d1 = 0, d2 = 0;
+    double base = cpuidUsec(VirtMode::Nested, false, d0);
+    double hw = cpuidUsec(VirtMode::HwSvt, false, d1);
+    double hw_bypass = cpuidUsec(VirtMode::HwSvt, true, d2);
+
+    Table t({"System", "cpuid (us)", "Speedup vs baseline",
+             "Direct reflects"});
+    t.addRow({"Nested baseline", Table::num(base, 2), "-", "0"});
+    t.addRow({"HW SVt", Table::num(hw, 2),
+              Table::num(base / hw, 2) + "x", std::to_string(d1)});
+    t.addRow({"HW SVt + direct reflect", Table::num(hw_bypass, 2),
+              Table::num(base / hw_bypass, 2) + "x",
+              std::to_string(d2)});
+
+    std::printf("Ablation: Section 3.1 selective level bypass\n\n%s\n",
+                t.render().c_str());
+    std::printf("The remaining cost is the L1 handler itself plus its "
+                "own trapped operations; the VMCS transforms and the\n"
+                "L0 reflection logic disappear from the whitelisted "
+                "paths, approaching native nested-virtualization "
+                "hardware.\n");
+    return 0;
+}

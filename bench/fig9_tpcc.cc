@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Regenerates Figure 9: TPC-C (sysbench-tpcc over a PostgreSQL-like
+ * server) transaction throughput, baseline vs SW SVt.
+ *
+ * Paper: baseline 6.37 Ktpm, SVt speedup 1.18x.
+ */
+
+#include <cstdio>
+
+#include "io/ramdisk.h"
+#include "io/virtio_blk.h"
+#include "io/virtio_net.h"
+#include "stats/table.h"
+#include "system/nested_system.h"
+#include "workloads/tpcc.h"
+
+using namespace svtsim;
+
+namespace {
+
+TpccResult
+measure(VirtMode mode)
+{
+    NestedSystem sys(mode);
+    NetFabric fabric(sys.machine(), sys.machine().costs().wireLatency,
+                     sys.machine().costs().linkBitsPerSec);
+    VirtioNetStack net(sys.stack(), fabric);
+    RamDisk disk(sys.machine(), "pgdata");
+    VirtioBlkStack blk(sys.stack(), disk);
+    Tpcc tpcc(sys.stack(), net, fabric, blk);
+    return tpcc.run(sec(2));
+}
+
+} // namespace
+
+int
+main()
+{
+    TpccResult base = measure(VirtMode::Nested);
+    TpccResult sw = measure(VirtMode::SwSvt);
+    TpccResult hw = measure(VirtMode::HwSvt);
+
+    Table t({"System", "Ktpm", "Mean txn (ms)", "Speedup", "Paper"});
+    t.addRow({"Baseline", Table::num(base.tpm / 1000.0, 2),
+              Table::num(base.meanTxnMsec, 2), "-", "6.37 Ktpm"});
+    t.addRow({"SW SVt", Table::num(sw.tpm / 1000.0, 2),
+              Table::num(sw.meanTxnMsec, 2),
+              Table::num(sw.tpm / base.tpm, 2) + "x", "1.18x"});
+    t.addRow({"HW SVt", Table::num(hw.tpm / 1000.0, 2),
+              Table::num(hw.meanTxnMsec, 2),
+              Table::num(hw.tpm / base.tpm, 2) + "x", "(modeled)"});
+
+    std::printf("Figure 9: TPC-C + PostgreSQL throughput\n\n%s\n",
+                t.render().c_str());
+    return 0;
+}

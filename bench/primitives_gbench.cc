@@ -1,0 +1,96 @@
+/**
+ * @file
+ * google-benchmark micro-benchmarks of the simulator's hot primitives
+ * (wall-clock performance of the simulator itself, not simulated
+ * time): event queue operations, VMCS accesses, EPT walks, and the
+ * full nested-trap round in each mode.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "io/ramdisk.h"
+#include "io/virtio_blk.h"
+#include "system/nested_system.h"
+#include "virt/ept.h"
+#include "virt/vmcs.h"
+
+using namespace svtsim;
+
+namespace {
+
+void
+BM_EventQueueScheduleRun(benchmark::State &state)
+{
+    EventQueue eq;
+    for (auto _ : state) {
+        eq.scheduleIn(nsec(10), [] {});
+        eq.advanceBy(nsec(20));
+    }
+}
+BENCHMARK(BM_EventQueueScheduleRun);
+
+void
+BM_VmcsReadWrite(benchmark::State &state)
+{
+    Vmcs vmcs("bench");
+    std::uint64_t v = 0;
+    for (auto _ : state) {
+        vmcs.write(VmcsField::GuestRip, v);
+        benchmark::DoNotOptimize(v = vmcs.read(VmcsField::GuestRip));
+        ++v;
+    }
+}
+BENCHMARK(BM_VmcsReadWrite);
+
+void
+BM_EptTranslate(benchmark::State &state)
+{
+    Ept ept("bench");
+    for (Gpa g = 0; g < 1024 * pageSize; g += pageSize)
+        ept.map(g, g + (1ULL << 30));
+    Gpa addr = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            ept.translate(addr, EptAccess::Read));
+        addr = (addr + pageSize) % (1024 * pageSize);
+    }
+}
+BENCHMARK(BM_EptTranslate);
+
+void
+BM_NestedCpuidRound(benchmark::State &state)
+{
+    auto mode = static_cast<VirtMode>(state.range(0));
+    NestedSystem sys(mode);
+    GuestApi &api = sys.api();
+    api.cpuid(1);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(api.cpuid(1));
+    state.SetLabel(virtModeName(mode));
+}
+BENCHMARK(BM_NestedCpuidRound)
+    ->Arg(static_cast<int>(VirtMode::Nested))
+    ->Arg(static_cast<int>(VirtMode::SwSvt))
+    ->Arg(static_cast<int>(VirtMode::HwSvt));
+
+void
+BM_DiskRequestRound(benchmark::State &state)
+{
+    NestedSystem sys(VirtMode::Nested);
+    RamDisk disk(sys.machine(), "bench");
+    VirtioBlkStack blk(sys.stack(), disk);
+    bool done = false;
+    blk.setCompletionHandler([&](std::uint64_t) { done = true; });
+    std::uint64_t id = 1;
+    for (auto _ : state) {
+        done = false;
+        blk.submit(id++, 0, 512, false);
+        while (!done)
+            sys.api().halt();
+    }
+}
+BENCHMARK(BM_DiskRequestRound);
+
+} // namespace
+
+BENCHMARK_MAIN();

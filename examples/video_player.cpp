@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Soft-realtime playback in a nested VM: play 30 seconds of the 4K
+ * clip at a chosen frame rate and report dropped frames, with and
+ * without SVt (a short interactive version of Figure 10).
+ *
+ *   $ ./build/examples/video_player [fps]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "io/ramdisk.h"
+#include "io/virtio_blk.h"
+#include "system/nested_system.h"
+#include "workloads/video.h"
+
+using namespace svtsim;
+
+int
+main(int argc, char **argv)
+{
+    double fps = 120;
+    if (argc > 1)
+        fps = std::atof(argv[1]);
+    if (fps <= 0 || fps > 1000) {
+        std::fprintf(stderr, "usage: %s [fps 1..1000]\n", argv[0]);
+        return 1;
+    }
+
+    std::printf("Playing 30 s of 4K video at %.0f FPS in a nested "
+                "VM...\n\n",
+                fps);
+    for (VirtMode mode : {VirtMode::Nested, VirtMode::SwSvt}) {
+        NestedSystem sys(mode);
+        RamDisk disk(sys.machine(), "media");
+        VirtioBlkStack blk(sys.stack(), disk);
+        VideoPlayback player(sys.stack(), blk);
+        VideoResult r = player.run(fps, sec(30));
+        std::printf("  %-16s %d/%d frames dropped (%d from late "
+                    "timer wakeups), vCPU %0.0f%% busy\n",
+                    virtModeName(mode), r.droppedFrames,
+                    r.totalFrames, r.lateWakeupDrops,
+                    r.busyFraction * 100);
+    }
+    std::printf("\nAt high frame rates the per-frame timer and I/O "
+                "trap chains eat the pacing slack; SVt returns it.\n");
+    return 0;
+}

@@ -1,0 +1,11 @@
+// CostModel is a plain aggregate; this translation unit exists so the
+// library has a home for future non-inline helpers and so the header's
+// defaults are compiled once under -Wall.
+
+#include "arch/cost_model.h"
+
+namespace svtsim {
+
+// Intentionally empty.
+
+} // namespace svtsim

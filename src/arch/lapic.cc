@@ -1,0 +1,102 @@
+#include "arch/lapic.h"
+
+#include "sim/log.h"
+
+namespace svtsim {
+
+Lapic::Lapic(EventQueue &eq, const CostModel &costs, int id)
+    : eq_(eq), costs_(costs), id_(id)
+{
+}
+
+Lapic::~Lapic()
+{
+    if (timerEvent_ != invalidEventId)
+        eq_.deschedule(timerEvent_);
+}
+
+void
+Lapic::raise(std::uint8_t vector)
+{
+    pending_.set(vector);
+    ++raised_;
+}
+
+void
+Lapic::assertExternal(std::uint8_t vector)
+{
+    Lapic *target = this;
+    int hops = 0;
+    while (target->redirect) {
+        target = target->redirect;
+        if (++hops > 8)
+            panic("Lapic redirection cycle");
+    }
+    target->raise(vector);
+}
+
+int
+Lapic::highestPending() const
+{
+    // x86 priority: the higher vector number wins.
+    for (int v = 255; v >= 0; --v)
+        if (pending_.test(static_cast<std::size_t>(v)))
+            return v;
+    return -1;
+}
+
+int
+Lapic::ack()
+{
+    int v = highestPending();
+    if (v >= 0)
+        pending_.reset(static_cast<std::size_t>(v));
+    return v;
+}
+
+bool
+Lapic::isPending(std::uint8_t vector) const
+{
+    return pending_.test(vector);
+}
+
+void
+Lapic::clear(std::uint8_t vector)
+{
+    pending_.reset(vector);
+}
+
+void
+Lapic::sendIpi(Lapic &dst, std::uint8_t vector)
+{
+    Lapic *target = &dst;
+    eq_.scheduleIn(costs_.ipiLatency,
+                   [target, vector] { target->raise(vector); },
+                   "ipi");
+}
+
+void
+Lapic::armTscDeadline(Ticks when, std::uint8_t vector)
+{
+    cancelTscDeadline();
+    if (when <= eq_.now()) {
+        // Deadline already passed: fires immediately.
+        raise(vector);
+        return;
+    }
+    timerEvent_ = eq_.schedule(when, [this, vector] {
+        timerEvent_ = invalidEventId;
+        raise(vector);
+    }, "tsc-deadline");
+}
+
+void
+Lapic::cancelTscDeadline()
+{
+    if (timerEvent_ != invalidEventId) {
+        eq_.deschedule(timerEvent_);
+        timerEvent_ = invalidEventId;
+    }
+}
+
+} // namespace svtsim

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Per-hardware-context local interrupt controller (APIC-like).
+ */
+
+#ifndef SVTSIM_ARCH_LAPIC_H
+#define SVTSIM_ARCH_LAPIC_H
+
+#include <bitset>
+#include <cstdint>
+
+#include "arch/cost_model.h"
+#include "sim/event_queue.h"
+
+namespace svtsim {
+
+/**
+ * Local APIC model: pending-vector bitmap with x86 priority (higher
+ * vector wins), IPIs with delivery latency, and a TSC-deadline timer.
+ *
+ * SVt's interrupt-redirection rule (Section 3.1: treat all SVt-enabled
+ * contexts as one target CPU by steering external interrupts to the
+ * context where L0 executes) is modeled by the @ref redirect pointer.
+ */
+class Lapic
+{
+  public:
+    /**
+     * @param eq Shared event queue (IPIs and timers are events).
+     * @param costs Cost model for delivery latencies.
+     * @param id Global identifier (for diagnostics).
+     */
+    Lapic(EventQueue &eq, const CostModel &costs, int id);
+
+    ~Lapic();
+
+    Lapic(const Lapic &) = delete;
+    Lapic &operator=(const Lapic &) = delete;
+
+    int id() const { return id_; }
+
+    // -- Pending interrupt state --------------------------------------
+    /** Mark @p vector pending on this APIC (no redirection). */
+    void raise(std::uint8_t vector);
+
+    /**
+     * Deliver an external (device) interrupt. Follows the SVt
+     * redirection chain so an SVt-enabled core's device interrupts
+     * land on the hypervisor context.
+     */
+    void assertExternal(std::uint8_t vector);
+
+    bool hasPending() const { return pending_.any(); }
+
+    /** Highest-priority pending vector, or -1 if none. */
+    int highestPending() const;
+
+    /** Pop and return the highest-priority pending vector (-1 if
+     *  none). The caller models delivery cost. */
+    int ack();
+
+    /** Whether a specific vector is pending. */
+    bool isPending(std::uint8_t vector) const;
+
+    /** Clear a specific pending vector (used by emulated injection). */
+    void clear(std::uint8_t vector);
+
+    // -- Inter-processor interrupts ------------------------------------
+    /** Send an IPI to @p dst; it becomes pending there after the
+     *  modeled IPI latency. */
+    void sendIpi(Lapic &dst, std::uint8_t vector);
+
+    // -- TSC-deadline timer ---------------------------------------------
+    /**
+     * Arm the TSC-deadline timer to raise @p vector at absolute time
+     * @p when. Re-arming replaces any armed deadline; @p when in the
+     * past fires immediately (matches the architecture: deadline
+     * already reached).
+     */
+    void armTscDeadline(Ticks when, std::uint8_t vector);
+
+    /** Disarm the deadline timer (wrmsr of zero). */
+    void cancelTscDeadline();
+
+    bool tscDeadlineArmed() const { return timerEvent_ != invalidEventId; }
+
+    // -- SVt external-interrupt redirection ------------------------------
+    /** When set, assertExternal() forwards to this APIC instead. */
+    Lapic *redirect = nullptr;
+
+    /** Count of interrupts that became pending here (for tests). */
+    std::uint64_t raisedCount() const { return raised_; }
+
+  private:
+    EventQueue &eq_;
+    const CostModel &costs_;
+    int id_;
+    std::bitset<256> pending_;
+    EventId timerEvent_ = invalidEventId;
+    std::uint64_t raised_ = 0;
+};
+
+} // namespace svtsim
+
+#endif // SVTSIM_ARCH_LAPIC_H

@@ -1,0 +1,96 @@
+#include "arch/machine.h"
+
+#include "sim/log.h"
+
+namespace svtsim {
+
+Machine::Machine(MachineTopology topo, CostModel costs,
+                 std::uint64_t seed)
+    : topo_(topo), costs_(costs), rng_(seed)
+{
+    if (topo_.numaNodes < 1 || topo_.coresPerNode < 1 ||
+        topo_.threadsPerCore < 1) {
+        fatal("Machine topology must have at least one of everything");
+    }
+    int id = 0;
+    for (int node = 0; node < topo_.numaNodes; ++node) {
+        for (int c = 0; c < topo_.coresPerNode; ++c) {
+            cores_.push_back(std::make_unique<SmtCore>(
+                eq_, costs_, id++, topo_.threadsPerCore, node));
+        }
+    }
+}
+
+SmtCore &
+Machine::core(int i)
+{
+    if (i < 0 || i >= numCores())
+        panic("Machine::core index %d out of range", i);
+    return *cores_[static_cast<std::size_t>(i)];
+}
+
+void
+Machine::consume(Ticks t)
+{
+    if (t < 0)
+        panic("Machine::consume negative time");
+    if (t == 0)
+        return;
+    for (const auto &scope : scopeStack_)
+        buckets_[scope] += t;
+    eq_.advanceBy(t);
+}
+
+void
+Machine::idleUntil(Ticks when)
+{
+    eq_.advanceTo(when);
+}
+
+void
+Machine::pushScope(const std::string &name)
+{
+    scopeStack_.push_back(name);
+}
+
+void
+Machine::popScope()
+{
+    if (scopeStack_.empty())
+        panic("Machine::popScope with no open scope");
+    scopeStack_.pop_back();
+}
+
+Ticks
+Machine::scopeTotal(const std::string &name) const
+{
+    auto it = buckets_.find(name);
+    return it == buckets_.end() ? 0 : it->second;
+}
+
+void
+Machine::resetAttribution()
+{
+    buckets_.clear();
+}
+
+void
+Machine::count(const std::string &key, std::uint64_t n)
+{
+    counters_[key] += n;
+}
+
+std::uint64_t
+Machine::counter(const std::string &key) const
+{
+    auto it = counters_.find(key);
+    return it == counters_.end() ? 0 : it->second;
+}
+
+void
+Machine::resetCounters()
+{
+    counters_.clear();
+}
+
+} // namespace svtsim

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Top-level machine: cores, event queue, cost model, time attribution.
+ */
+
+#ifndef SVTSIM_ARCH_MACHINE_H
+#define SVTSIM_ARCH_MACHINE_H
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "arch/cost_model.h"
+#include "arch/smt_core.h"
+#include "sim/event_queue.h"
+#include "sim/random.h"
+
+namespace svtsim {
+
+/** Physical machine shape (Table 4: 2x 8-core 2-SMT Xeon). */
+struct MachineTopology
+{
+    int numaNodes = 2;
+    int coresPerNode = 8;
+    int threadsPerCore = 2;
+
+    int totalCores() const { return numaNodes * coresPerNode; }
+};
+
+/**
+ * The simulated machine: owns the event queue, cost model, RNG and the
+ * cores, and provides the time-attribution machinery that benches use
+ * to regenerate stage breakdowns (Table 1) and exit-reason profiles
+ * (Section 6.2).
+ */
+class Machine
+{
+  public:
+    explicit Machine(MachineTopology topo = {}, CostModel costs = {},
+                     std::uint64_t seed = 1);
+
+    Machine(const Machine &) = delete;
+    Machine &operator=(const Machine &) = delete;
+
+    const MachineTopology &topology() const { return topo_; }
+    const CostModel &costs() const { return costs_; }
+    CostModel &costs() { return costs_; }
+
+    EventQueue &events() { return eq_; }
+    Rng &rng() { return rng_; }
+
+    SmtCore &core(int i);
+    int numCores() const { return static_cast<int>(cores_.size()); }
+
+    // -- Time ------------------------------------------------------------
+    Ticks now() const { return eq_.now(); }
+
+    /**
+     * Consume @p t ticks of simulated time. Runs due events and adds
+     * @p t to every open attribution scope.
+     */
+    void consume(Ticks t);
+
+    /** Let simulated time pass without attributing it to any open
+     *  scope (used for idle/wait periods). */
+    void idleUntil(Ticks when);
+
+    // -- Attribution scopes ----------------------------------------------
+    /** Open an attribution scope; time consumed while open accrues to
+     *  the named bucket. Scopes nest; all open scopes accrue. */
+    void pushScope(const std::string &name);
+    void popScope();
+
+    /** Total ticks accrued to @p name since the last reset. */
+    Ticks scopeTotal(const std::string &name) const;
+
+    /** All buckets (name -> ticks), for rendering breakdown tables. */
+    const std::map<std::string, Ticks> &scopeTotals() const
+    {
+        return buckets_;
+    }
+
+    void resetAttribution();
+
+    // -- Event counters ----------------------------------------------------
+    void count(const std::string &key, std::uint64_t n = 1);
+    std::uint64_t counter(const std::string &key) const;
+    const std::map<std::string, std::uint64_t> &counters() const
+    {
+        return counters_;
+    }
+    void resetCounters();
+
+  private:
+    MachineTopology topo_;
+    CostModel costs_;
+    EventQueue eq_;
+    Rng rng_;
+    std::vector<std::unique_ptr<SmtCore>> cores_;
+    std::vector<std::string> scopeStack_;
+    std::map<std::string, Ticks> buckets_;
+    std::map<std::string, std::uint64_t> counters_;
+};
+
+/** RAII attribution scope. */
+class TimeScope
+{
+  public:
+    TimeScope(Machine &machine, std::string name)
+        : machine_(machine)
+    {
+        machine_.pushScope(std::move(name));
+    }
+
+    ~TimeScope() { machine_.popScope(); }
+
+    TimeScope(const TimeScope &) = delete;
+    TimeScope &operator=(const TimeScope &) = delete;
+
+  private:
+    Machine &machine_;
+};
+
+} // namespace svtsim
+
+#endif // SVTSIM_ARCH_MACHINE_H

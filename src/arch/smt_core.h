@@ -1,0 +1,80 @@
+/**
+ * @file
+ * SMT core: N hardware contexts over one shared physical register file.
+ */
+
+#ifndef SVTSIM_ARCH_SMT_CORE_H
+#define SVTSIM_ARCH_SMT_CORE_H
+
+#include <memory>
+#include <vector>
+
+#include "arch/cost_model.h"
+#include "arch/hw_context.h"
+#include "arch/lapic.h"
+#include "arch/phys_reg_file.h"
+#include "sim/event_queue.h"
+
+namespace svtsim {
+
+/**
+ * A physical core with SMT hardware contexts.
+ *
+ * The baseline core knows nothing about SVt; it provides the raw
+ * resources (replicated per-thread state, shared physical register
+ * file, one local APIC per context) plus an "active context" notion
+ * used by the single-effective-thread execution styles (SVt, and the
+ * baseline where SMT is disabled for security per Section 1).
+ */
+class SmtCore
+{
+  public:
+    /**
+     * @param eq Shared event queue.
+     * @param costs Cost model.
+     * @param id Core number.
+     * @param num_contexts SMT width (Table 4: 2; HW SVt studies 3+).
+     * @param numa_node NUMA node the core belongs to.
+     * @param prf_size Physical register file capacity.
+     */
+    SmtCore(EventQueue &eq, const CostModel &costs, int id,
+            int num_contexts, int numa_node, std::size_t prf_size = 320);
+
+    int id() const { return id_; }
+    int numaNode() const { return numaNode_; }
+    int numContexts() const { return static_cast<int>(contexts_.size()); }
+
+    HwContext &context(int i);
+    const HwContext &context(int i) const;
+    Lapic &lapic(int i);
+
+    PhysRegFile &prf() { return prf_; }
+
+    /** Context currently being fetched from. */
+    int activeContext() const { return active_; }
+
+    /**
+     * Retarget instruction fetch to @p target, stalling the current
+     * context. The caller supplies the cost (a full VM-transition for
+     * the baseline, CostModel::svtSwitch for SVt) and accounts it.
+     */
+    void retargetFetch(int target);
+
+    /** Number of fetch retargets (for stats/tests). */
+    std::uint64_t retargetCount() const { return retargets_; }
+
+  private:
+    EventQueue &eq_;
+    const CostModel &costs_;
+    int id_;
+    int numaNode_;
+    PhysRegFile prf_;
+    std::vector<std::unique_ptr<HwContext>> contexts_;
+    std::vector<std::unique_ptr<Lapic>> lapics_;
+    int active_ = 0;
+    std::uint64_t retargets_ = 0;
+};
+
+} // namespace svtsim
+
+#endif // SVTSIM_ARCH_SMT_CORE_H

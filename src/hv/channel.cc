@@ -1,0 +1,123 @@
+#include "hv/channel.h"
+
+#include "sim/log.h"
+
+namespace svtsim {
+
+const char *
+waitMechanismName(WaitMechanism m)
+{
+    switch (m) {
+      case WaitMechanism::Poll: return "poll";
+      case WaitMechanism::Mwait: return "mwait";
+      case WaitMechanism::Mutex: return "mutex";
+    }
+    return "?";
+}
+
+const char *
+placementName(Placement p)
+{
+    switch (p) {
+      case Placement::SmtSibling: return "smt-sibling";
+      case Placement::SameNode: return "same-node";
+      case Placement::CrossNode: return "cross-node";
+    }
+    return "?";
+}
+
+Ticks
+ChannelModel::wakeLatency(const CostModel &costs) const
+{
+    switch (mechanism) {
+      case WaitMechanism::Poll:
+        switch (placement) {
+          case Placement::SmtSibling: return costs.pollLatencySmt;
+          case Placement::SameNode: return costs.pollLatencyCore;
+          case Placement::CrossNode: return costs.pollLatencyNuma;
+        }
+        break;
+      case WaitMechanism::Mwait:
+        switch (placement) {
+          case Placement::SmtSibling: return costs.mwaitWakeSmt;
+          case Placement::SameNode: return costs.mwaitWakeCore;
+          case Placement::CrossNode: return costs.mwaitWakeNuma;
+        }
+        break;
+      case WaitMechanism::Mutex:
+        // The futex wake path (syscall + scheduler) dominates; the
+        // cacheline transfer differences come on top.
+        switch (placement) {
+          case Placement::SmtSibling: return costs.mutexWake;
+          case Placement::SameNode:
+            return costs.mutexWake + costs.pollLatencyCore;
+          case Placement::CrossNode:
+            return costs.mutexWake + costs.pollLatencyNuma;
+        }
+        break;
+    }
+    panic("ChannelModel: invalid mechanism/placement");
+}
+
+Ticks
+ChannelModel::waiterSetup(const CostModel &costs) const
+{
+    switch (mechanism) {
+      case WaitMechanism::Poll:
+        return 0;
+      case WaitMechanism::Mwait:
+        return costs.monitorSetup;
+      case WaitMechanism::Mutex:
+        // Mutexes actively poll for a brief time before sleeping
+        // (Section 6.1), then pay the syscall on the sleep side.
+        return costs.mutexSpinWindow;
+    }
+    panic("ChannelModel: invalid mechanism");
+}
+
+double
+ChannelModel::workerSlowdown(const CostModel &costs) const
+{
+    // Only a busy-polling SMT sibling contends for execution slots;
+    // mwait and mutex waiters release them (Section 6.1 findings).
+    if (mechanism == WaitMechanism::Poll &&
+        placement == Placement::SmtSibling) {
+        return 1.0 + costs.pollSmtSlowdown;
+    }
+    return 1.0;
+}
+
+CommandRing::CommandRing(Machine &machine, std::size_t capacity)
+    : machine_(machine), capacity_(capacity)
+{
+    if (capacity == 0)
+        fatal("CommandRing requires a non-zero capacity");
+}
+
+void
+CommandRing::post(const ChannelMessage &msg)
+{
+    if (ring_.size() >= capacity_)
+        panic("CommandRing overflow (capacity %zu)", capacity_);
+    const CostModel &costs = machine_.costs();
+    // Descriptor store plus the register/trap-info payload copy
+    // (numGprs GPRs + rip/rflags + the exit info block).
+    machine_.consume(costs.ringPost +
+                     costs.ringPayloadValue * (numGprs + 2 + 7));
+    ring_.push_back(msg);
+    ++posted_;
+}
+
+ChannelMessage
+CommandRing::pop()
+{
+    if (ring_.empty())
+        panic("CommandRing::pop on empty ring");
+    // Reading the payload out of the shared lines.
+    machine_.consume(machine_.costs().ringPayloadValue * 4);
+    ChannelMessage msg = ring_.front();
+    ring_.pop_front();
+    return msg;
+}
+
+} // namespace svtsim

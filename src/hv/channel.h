@@ -1,0 +1,135 @@
+/**
+ * @file
+ * SW SVt shared-memory command channel (paper Section 5.2) and the
+ * Section 6.1 wait-mechanism/placement latency model.
+ *
+ * Each L2 vCPU gets two unidirectional command rings between the L0
+ * hypervisor thread and the L1 SVt-thread, carrying CMD_VM_TRAP and
+ * CMD_VM_RESUME commands plus the register payload (the prototype has
+ * no cross-thread register access hardware, so GPRs and trap info
+ * travel with the command).
+ */
+
+#ifndef SVTSIM_HV_CHANNEL_H
+#define SVTSIM_HV_CHANNEL_H
+
+#include <array>
+#include <cstdint>
+#include <deque>
+
+#include "arch/machine.h"
+#include "arch/regs.h"
+#include "virt/exit_reason.h"
+
+namespace svtsim {
+
+/** How a waiter observes the channel (Section 6.1 study). */
+enum class WaitMechanism
+{
+    /** Busy polling: lowest latency, steals sibling cycles on SMT. */
+    Poll,
+    /** monitor/mwait on the command cache line (what SW SVt uses). */
+    Mwait,
+    /** futex-style mutex: sleeps in the kernel after a short spin. */
+    Mutex,
+};
+
+/** Relative placement of the two communicating threads. */
+enum class Placement
+{
+    /** Same core, sibling SMT threads (SW SVt's configuration). */
+    SmtSibling,
+    /** Same NUMA node, different cores. */
+    SameNode,
+    /** Different NUMA nodes (order-of-magnitude worse latency). */
+    CrossNode,
+};
+
+const char *waitMechanismName(WaitMechanism m);
+const char *placementName(Placement p);
+
+/**
+ * Latency/interference model of one waiter observing one writer.
+ */
+struct ChannelModel
+{
+    WaitMechanism mechanism = WaitMechanism::Mwait;
+    Placement placement = Placement::SmtSibling;
+
+    /** Time from the writer's store to the waiter resuming useful
+     *  execution. */
+    Ticks wakeLatency(const CostModel &costs) const;
+
+    /** Per-wait setup cost on the waiter side (monitor arm, futex
+     *  spin window). */
+    Ticks waiterSetup(const CostModel &costs) const;
+
+    /**
+     * Multiplicative slowdown imposed on the *working* thread while
+     * the other thread waits (Section 6.1: polling on the SMT sibling
+     * consumes execution cycles from the computing thread).
+     */
+    double workerSlowdown(const CostModel &costs) const;
+};
+
+/** Commands exchanged between L0 and the SVt-thread (Figure 5). */
+enum class SwSvtCommand : std::uint8_t
+{
+    VmTrap,   ///< CMD_VM_TRAP: L0 -> SVt-thread
+    VmResume, ///< CMD_VM_RESUME: SVt-thread -> L0
+};
+
+/** One command descriptor, including the register payload. */
+struct ChannelMessage
+{
+    SwSvtCommand command = SwSvtCommand::VmTrap;
+    ExitInfo info;
+    std::array<std::uint64_t, numGprs> gprs{};
+    std::uint64_t rip = 0;
+    std::uint64_t rflags = 0;
+    /** CMD_VM_RESUME only: the guest halted, do not re-enter it. */
+    bool l2Halted = false;
+};
+
+/**
+ * A unidirectional single-producer single-consumer command ring.
+ *
+ * The ring itself is deterministic data; post() charges the store/copy
+ * costs, and the consumer charges wake latency via the ChannelModel.
+ */
+class CommandRing
+{
+  public:
+    /**
+     * @param machine Cost accounting.
+     * @param capacity Ring capacity; posting to a full ring panics
+     *        (the SW SVt protocol is strictly request/response, so
+     *        depth never exceeds one in correct operation).
+     */
+    explicit CommandRing(Machine &machine, std::size_t capacity = 8);
+
+    /** Post a message; charges ring-post plus payload-copy costs. */
+    void post(const ChannelMessage &msg);
+
+    /** Non-destructively check for a pending message. */
+    bool hasMessage() const { return !ring_.empty(); }
+
+    /**
+     * Pop the oldest message; charges the payload read cost.
+     * @pre hasMessage().
+     */
+    ChannelMessage pop();
+
+    std::size_t depth() const { return ring_.size(); }
+    std::uint64_t postedCount() const { return posted_; }
+
+  private:
+    Machine &machine_;
+    std::size_t capacity_;
+    std::deque<ChannelMessage> ring_;
+    std::uint64_t posted_ = 0;
+};
+
+} // namespace svtsim
+
+#endif // SVTSIM_HV_CHANNEL_H

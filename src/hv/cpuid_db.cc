@@ -1,0 +1,46 @@
+#include "hv/cpuid_db.h"
+
+namespace svtsim {
+
+CpuidDb
+CpuidDb::host()
+{
+    CpuidDb db;
+    // Leaf 0: max leaf + "GenuineIntel"-style vendor tag (encoded).
+    db.set(0, CpuidResult{0x16, 0x756e6547, 0x6c65746e, 0x49656e69});
+    // Leaf 1: family/model/stepping of a Haswell-EP part + features.
+    db.set(1, CpuidResult{0x306f2, 0x100800,
+                          cpuid_feature::vmx | cpuid_feature::x2apic |
+                              cpuid_feature::tscDeadline,
+                          0xbfebfbff});
+    // Leaf 0x16: base/max/bus frequency in MHz (2.4 GHz part).
+    db.set(0x16, CpuidResult{2400, 3200, 100, 0});
+    return db;
+}
+
+CpuidDb
+CpuidDb::guestView(bool keep_vmx) const
+{
+    CpuidDb view = *this;
+    auto leaf1 = view.query(1);
+    leaf1.ecx |= cpuid_feature::hypervisorPresent;
+    if (!keep_vmx)
+        leaf1.ecx &= ~cpuid_feature::vmx;
+    view.set(1, leaf1);
+    return view;
+}
+
+CpuidResult
+CpuidDb::query(std::uint64_t leaf) const
+{
+    auto it = leaves_.find(leaf);
+    return it == leaves_.end() ? CpuidResult{} : it->second;
+}
+
+void
+CpuidDb::set(std::uint64_t leaf, CpuidResult value)
+{
+    leaves_[leaf] = value;
+}
+
+} // namespace svtsim

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * cpuid emulation: the feature view each virtualization level exposes
+ * to its guests.
+ *
+ * Real hypervisors mask host features when emulating cpuid; modeling
+ * that gives the cross-mode transparency tests something meaningful to
+ * compare (the same L2 program must observe the same cpuid values in
+ * the baseline and in both SVt variants).
+ */
+
+#ifndef SVTSIM_HV_CPUID_DB_H
+#define SVTSIM_HV_CPUID_DB_H
+
+#include <cstdint>
+#include <map>
+
+#include "arch/regs.h"
+
+namespace svtsim {
+
+/** Feature bits the modeled platform reports in leaf 1 (ecx). */
+namespace cpuid_feature {
+
+constexpr std::uint64_t vmx = 1ULL << 5;
+constexpr std::uint64_t x2apic = 1ULL << 21;
+constexpr std::uint64_t tscDeadline = 1ULL << 24;
+/** Set when running under any hypervisor (leaf 1 ecx bit 31). */
+constexpr std::uint64_t hypervisorPresent = 1ULL << 31;
+
+} // namespace cpuid_feature
+
+/**
+ * A level's cpuid table: host values filtered through the masks each
+ * hypervisor applies.
+ */
+class CpuidDb
+{
+  public:
+    /** Bare-metal (L0) view of the modeled Xeon E5-2630v3. */
+    static CpuidDb host();
+
+    /**
+     * Derive the view a hypervisor at this level exposes to its guest:
+     * sets the hypervisor-present bit and applies the feature mask.
+     * @param keep_vmx Whether nested virtualization is advertised.
+     */
+    CpuidDb guestView(bool keep_vmx) const;
+
+    /** Look up a leaf (unknown leaves return zeros, like hardware). */
+    CpuidResult query(std::uint64_t leaf) const;
+
+    void set(std::uint64_t leaf, CpuidResult value);
+
+  private:
+    std::map<std::uint64_t, CpuidResult> leaves_;
+};
+
+} // namespace svtsim
+
+#endif // SVTSIM_HV_CPUID_DB_H

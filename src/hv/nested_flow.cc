@@ -1,0 +1,1502 @@
+/**
+ * @file
+ * The nested virtualization trap machinery: Algorithm 1 of the paper,
+ * in its baseline, SW SVt and HW SVt variants, plus the L1-grade
+ * single-level trap rounds and the L1Api/L2Api/backend code.
+ */
+
+#include <algorithm>
+
+#include "hv/vectors.h"
+#include "hv/virt_stack.h"
+#include "hv/virt_stack_impl.h"
+#include "sim/log.h"
+
+namespace svtsim {
+
+namespace {
+
+/** VMCS fields carrying guest-physical addresses (transform surcharge). */
+int
+countAddressFields()
+{
+    int n = 0;
+    for (std::size_t i = 0; i < numVmcsFields; ++i)
+        if (vmcsFieldIsAddress(static_cast<VmcsField>(i)))
+            ++n;
+    return n;
+}
+
+} // namespace
+
+// ----------------------------------------------------- L2 <-> L0 boundary
+
+void
+VirtStack::exitFromL2(const ExitInfo &info)
+{
+    if (!l2Running_) {
+        panic("exitFromL2 while L2 is not running (reason=%s "
+              "inL1Window=%d pumping=%d)",
+              exitReasonName(info.reason), inL1Window_ ? 1 : 0,
+              pumping_ ? 1 : 0);
+    }
+    const CostModel &c = machine_.costs();
+    TimeScope t(machine_, "stage.switch_l2_l0");
+    if (config_.mode == VirtMode::HwSvt) {
+        // SVt: squash + fetch retarget; exit info lands in the VMCS
+        // with a few field stores, registers stay in context-2.
+        svt_->vmTrap();
+        vmcs02_->recordExit(info);
+        machine_.consume(3 * c.vmcsFieldCopy);
+        machine_.count("vmx.exit");
+        machine_.count(std::string("vmx.exit.") +
+                       exitReasonName(info.reason));
+    } else {
+        engines_[0]->vmexit(info);
+        // Hypervisor thunk: spill L2's GPRs into L0's vcpu struct.
+        machine_.consume(c.thunkRegSave * c.thunkRegs);
+        HwContext &ctx = engines_[0]->context();
+        for (int i = 0; i < numGprs; ++i) {
+            vcpuL2InL0_->setGpr(static_cast<Gpr>(i),
+                                ctx.readGpr(static_cast<Gpr>(i)));
+        }
+    }
+    l2Running_ = false;
+}
+
+void
+VirtStack::resumeL2()
+{
+    simAssert(!l2Running_, "resumeL2 while L2 is already running");
+    const CostModel &c = machine_.costs();
+    TimeScope t(machine_, "stage.switch_l2_l0");
+    VmxEngine &e0 = *engines_[0];
+    if (e0.currentVmcs() != vmcs02_.get())
+        e0.vmptrld(vmcs02_.get());
+    if (config_.mode == VirtMode::HwSvt) {
+        if (svtMultiplexed_)
+            svtSwitchOwner(2);
+        svt_->loadFromVmcs(*vmcs02_);
+        svt_->vmResume();
+    } else {
+        // Thunk: reload L2's GPRs, then the entry microcode.
+        HwContext &ctx = e0.context();
+        for (int i = 0; i < numGprs; ++i) {
+            ctx.writeGpr(static_cast<Gpr>(i),
+                         vcpuL2InL0_->gpr(static_cast<Gpr>(i)));
+        }
+        machine_.consume(c.thunkRegRestore * c.thunkRegs);
+        e0.vmentry(false);
+    }
+    l2Running_ = true;
+}
+
+// ----------------------------------------------------------- transforms
+
+Ticks
+VirtStack::transformPassCost() const
+{
+    static const int addr_fields = countAddressFields();
+    const CostModel &c = machine_.costs();
+    return c.vmcsXformFixed +
+           static_cast<Ticks>(numVmcsFields) * c.vmcsFieldCopy +
+           addr_fields * c.vmcsFieldXlate;
+}
+
+void
+VirtStack::transformVmcs02ToVmcs12()
+{
+    TimeScope t(machine_, "stage.transform");
+    machine_.consume(transformPassCost());
+    // Reflect L2's architectural state and the exit information into
+    // the shadow VMCS (vmcs01' as L1 sees it).
+    for (std::size_t i = 0; i < numVmcsFields; ++i) {
+        auto f = static_cast<VmcsField>(i);
+        auto cls = vmcsFieldClass(f);
+        if (cls == VmcsFieldClass::GuestState ||
+            cls == VmcsFieldClass::ExitInfo) {
+            vmcs12_->write(f, vmcs02_->read(f));
+        }
+    }
+    machine_.count("l0.transform_02_to_12");
+}
+
+void
+VirtStack::transformVmcs12ToVmcs02()
+{
+    const CostModel &c = machine_.costs();
+    TimeScope t(machine_, "stage.transform");
+    machine_.consume(transformPassCost());
+    // Apply L1's updates back to the hardware VMCS, translating the
+    // address-bearing fields into L0 terms (the EPT pointer stays
+    // L0's merged ept02).
+    for (std::size_t i = 0; i < numVmcsFields; ++i) {
+        auto f = static_cast<VmcsField>(i);
+        if (vmcsFieldClass(f) == VmcsFieldClass::GuestState)
+            vmcs02_->write(f, vmcs12_->read(f));
+    }
+    vmcs02_->write(VmcsField::EntryIntrInfo,
+                   vmcs12_->read(VmcsField::EntryIntrInfo));
+    vmcs02_->write(VmcsField::TscOffset,
+                   vmcs12_->read(VmcsField::TscOffset));
+    // Register context reflected back into L0's vcpu struct (not
+    // needed with dedicated SVt contexts, where registers never left
+    // the hardware).
+    if (config_.mode != VirtMode::HwSvt || svtMultiplexed_) {
+        for (int i = 0; i < numGprs; ++i) {
+            vcpuL2InL0_->setGpr(static_cast<Gpr>(i),
+                                vcpuL2InL1_->gpr(static_cast<Gpr>(i)));
+        }
+        machine_.consume(2 * numGprs * c.memAccess);
+    }
+    if (svtMultiplexed_) {
+        vcpuL2InL0_->rip = vmcs12_->read(VmcsField::GuestRip);
+        vcpuL2InL0_->rflags = vmcs12_->read(VmcsField::GuestRflags);
+    }
+    machine_.count("l0.transform_12_to_02");
+}
+
+// ----------------------------------------------- the nested exit round
+
+namespace {
+
+/** Exit reasons L0 whitelists for the Section 3.1 direct-reflect
+ *  extension: their handling touches no L0-owned state. */
+bool
+directReflectable(ExitReason reason)
+{
+    switch (reason) {
+      case ExitReason::Cpuid:
+      case ExitReason::Rdmsr:
+      case ExitReason::Vmcall:
+      case ExitReason::Pause:
+        return true;
+      default:
+        return false;
+    }
+}
+
+} // namespace
+
+void
+VirtStack::nestedExitFromL2(const ExitInfo &info)
+{
+    simAssert(isNestedMode(), "nestedExitFromL2 outside nested mode");
+    machine_.pushScope(std::string("exit.") +
+                       exitReasonName(info.reason));
+    machine_.count(std::string("l2.exit.") +
+                   exitReasonName(info.reason));
+    const CostModel &c = machine_.costs();
+
+    if (config_.mode == VirtMode::HwSvt && config_.svtDirectReflect &&
+        !svtMultiplexed_ && directReflectable(info.reason)) {
+        // Section 3.1 extension: the trap bypasses L0 entirely. The
+        // hardware deposits the exit information into the shadow VMCS
+        // and retargets fetch to the guest hypervisor's context; only
+        // the L1 handler's own trapped operations visit L0.
+        simAssert(l2Running_, "direct reflect while L2 not running");
+        {
+            TimeScope t(machine_, "stage.switch_l2_l0");
+            vmcs12_->recordExit(info);
+            machine_.consume(3 * c.vmcsFieldCopy + c.svtFieldLoad);
+            svt_->loadFromVmcs(*vmcs01_);
+            svt_->directReflect(1);
+            l2Running_ = false;
+        }
+        ++reflected_;
+        machine_.count("l0.direct_reflect");
+        bool resume;
+        {
+            TimeScope l1(machine_, "stage.l1_handler");
+            l1ViaSvt_ = true;
+            resume = guestHv_->handleNestedExit(info, *ctxtBackend_);
+            l1ViaSvt_ = false;
+        }
+        simAssert(resume, "direct-reflected exit must resume");
+        {
+            // L1's VMRESUME is also served in hardware: fetch
+            // retargets straight back to L2's context.
+            TimeScope t(machine_, "stage.switch_l2_l0");
+            svt_->loadFromVmcs(*vmcs02_);
+            svt_->vmResume();
+            l2Running_ = true;
+        }
+        machine_.popScope();
+        return;
+    }
+
+    exitFromL2(info);
+
+    bool handled_in_l0 = false;
+    if (info.reason == ExitReason::EptViolation) {
+        // L0 first tries to satisfy the fault from its shadow-EPT
+        // merge of ept12 and ept01 (the Turtles multi-dimensional
+        // paging scheme): only faults L1 has not mapped are reflected.
+        TimeScope l0(machine_, "stage.l0_handler");
+        machine_.consume(c.handlerDispatch + c.nestedExitCheck);
+        EptAccess acc = (info.qualification & 1) ? EptAccess::Write
+                                                 : EptAccess::Read;
+        auto r12 = guestHv_->ept().translate(info.guestPhysAddr, acc);
+        Gpa page = info.guestPhysAddr & ~(pageSize - 1);
+        if (r12.kind == Ept::Result::Kind::Ok) {
+            machine_.consume(c.vmcsFieldXlate +
+                             r12.levelsWalked * c.memAccess);
+            ept02_->map(page, r12.hpa & ~(pageSize - 1));
+            machine_.count("l0.ept02_fill");
+            handled_in_l0 = true;
+        } else if (r12.kind == Ept::Result::Kind::Misconfig) {
+            machine_.consume(c.vmcsFieldXlate);
+            ept02_->markMmio(page);
+            machine_.count("l0.ept02_mmio");
+            handled_in_l0 = true;
+        }
+    }
+
+    bool resume = true;
+    if (!handled_in_l0) {
+        ++reflected_;
+        machine_.count("l0.reflect");
+        transformVmcs02ToVmcs12();
+        resume = reflectToL1(info);
+    }
+    if (resume)
+        resumeL2();
+    machine_.popScope();
+}
+
+void
+VirtStack::postL1Housekeeping(Ticks cost)
+{
+    simAssert(cost >= 0, "postL1Housekeeping negative cost");
+    l1Housekeeping_ += cost;
+}
+
+void
+VirtStack::serviceL1Housekeeping(bool overlapped)
+{
+    if (l1Housekeeping_ <= 0)
+        return;
+    Ticks work = l1Housekeeping_;
+    l1Housekeeping_ = 0;
+    if (overlapped) {
+        // SW SVt: the L1 vCPU runs its housekeeping on its own
+        // hardware thread while the SVt-thread handles the L2 exit
+        // (forward progress guaranteed by the Section 5.3 machinery).
+        // The overlap is bounded by the exit-handling window; only
+        // the excess spills onto the measured path.
+        machine_.count("l1.housekeeping.overlapped");
+        Ticks spill = work - machine_.costs().swSvtOverlapWindow;
+        if (spill > 0) {
+            TimeScope t(machine_, "stage.l1_housekeeping");
+            machine_.consume(spill);
+        }
+        return;
+    }
+    // Baseline / HW SVt: one effective thread of execution, so the
+    // pending L1 kernel work is serviced before the L2 exit handling
+    // proceeds.
+    TimeScope t(machine_, "stage.l1_housekeeping");
+    machine_.consume(work);
+    machine_.count("l1.housekeeping.serial");
+}
+
+bool
+VirtStack::reflectToL1(const ExitInfo &info)
+{
+    switch (config_.mode) {
+      case VirtMode::Nested:
+        serviceL1Housekeeping(false);
+        return reflectBaseline(info);
+      case VirtMode::SwSvt:
+        serviceL1Housekeeping(true);
+        return reflectSwSvt(info);
+      case VirtMode::HwSvt:
+        serviceL1Housekeeping(false);
+        return svtMultiplexed_ ? reflectHwSvtMultiplexed(info)
+                               : reflectHwSvt(info);
+      default:
+        panic("reflectToL1 in mode %s", virtModeName(config_.mode));
+    }
+}
+
+bool
+VirtStack::reflectBaseline(const ExitInfo &info)
+{
+    const CostModel &c = machine_.costs();
+    VmxEngine &e0 = *engines_[0];
+    {
+        TimeScope l0(machine_, "stage.l0_handler");
+        machine_.consume(c.handlerDispatch + c.nestedExitCheck);
+        e0.vmptrld(vmcs01_.get());
+        // Lazily sync the trap context into the L1-visible state:
+        // vmread-grade accesses of GPRs and exit-info values.
+        machine_.consume(c.lazySyncValue * c.lazySyncValues);
+        for (int i = 0; i < numGprs; ++i) {
+            vcpuL2InL1_->setGpr(static_cast<Gpr>(i),
+                                vcpuL2InL0_->gpr(static_cast<Gpr>(i)));
+        }
+        vmcs12_->recordExit(info);
+        machine_.consume(c.nestedStateMachine);
+    }
+    {
+        TimeScope sw(machine_, "stage.switch_l0_l1");
+        e0.vmentry(false);
+        machine_.consume(c.thunkRegRestore * c.thunkRegs);
+    }
+    bool resume;
+    {
+        TimeScope l1(machine_, "stage.l1_handler");
+        l1Engine_ = &e0;
+        l1Vmcs_ = vmcs01_.get();
+        resume = guestHv_->handleNestedExit(info, *memBackend_);
+        l1Engine_ = nullptr;
+        l1Vmcs_ = nullptr;
+    }
+    {
+        // L1 issues VMRESUME (or halts): traps back into L0.
+        TimeScope sw(machine_, "stage.switch_l0_l1");
+        machine_.consume(c.thunkRegSave * c.thunkRegs);
+        e0.vmexit(ExitInfo{.reason = resume ? ExitReason::Vmresume
+                                            : ExitReason::Hlt});
+    }
+    {
+        TimeScope l0(machine_, "stage.l0_handler");
+        machine_.consume(c.handlerDispatch);
+        if (resume)
+            e0.vmptrld(vmcs02_.get());
+    }
+    if (resume)
+        transformVmcs12ToVmcs02();
+    return resume;
+}
+
+bool
+VirtStack::reflectSwSvt(const ExitInfo &info)
+{
+    const CostModel &c = machine_.costs();
+    {
+        TimeScope l0(machine_, "stage.l0_handler");
+        machine_.consume(c.handlerDispatch + c.nestedExitCheck);
+        vmcs12_->recordExit(info);
+        machine_.consume(c.nestedStateMachine);
+        // CMD_VM_TRAP with the register payload (the prototype has no
+        // cross-thread register file access).
+        ChannelMessage msg;
+        msg.command = SwSvtCommand::VmTrap;
+        msg.info = info;
+        for (int i = 0; i < numGprs; ++i)
+            msg.gprs[static_cast<std::size_t>(i)] =
+                vcpuL2InL0_->gpr(static_cast<Gpr>(i));
+        ringToSvt_->post(msg);
+    }
+    serviceSvtThreadPreemption();
+    {
+        // The SVt-thread observes the command (monitor/mwait wake).
+        TimeScope ch(machine_, "stage.channel");
+        machine_.consume(config_.channel.waiterSetup(c) +
+                         config_.channel.wakeLatency(c));
+    }
+    ChannelMessage msg = ringToSvt_->pop();
+    for (int i = 0; i < numGprs; ++i) {
+        vcpuL2InL1_->setGpr(static_cast<Gpr>(i),
+                            msg.gprs[static_cast<std::size_t>(i)]);
+    }
+    bool resume;
+    {
+        TimeScope l1(machine_, "stage.l1_handler");
+        l1Engine_ = engines_[1].get();
+        l1Vmcs_ = vmcs01s_.get();
+        l1Slowdown_ = config_.channel.workerSlowdown(c);
+        resume = guestHv_->handleNestedExit(msg.info, *memBackend_);
+        l1Slowdown_ = 1.0;
+        l1Engine_ = nullptr;
+        l1Vmcs_ = nullptr;
+        // CMD_VM_RESUME with the updated register payload.
+        ChannelMessage resp;
+        resp.command = SwSvtCommand::VmResume;
+        resp.info = msg.info;
+        resp.l2Halted = !resume;
+        for (int i = 0; i < numGprs; ++i)
+            resp.gprs[static_cast<std::size_t>(i)] =
+                vcpuL2InL1_->gpr(static_cast<Gpr>(i));
+        ringFromSvt_->post(resp);
+    }
+    {
+        // L0 observes the response.
+        TimeScope ch(machine_, "stage.channel");
+        machine_.consume(config_.channel.waiterSetup(c) +
+                         config_.channel.wakeLatency(c));
+    }
+    ChannelMessage resp = ringFromSvt_->pop();
+    for (int i = 0; i < numGprs; ++i) {
+        vcpuL2InL0_->setGpr(static_cast<Gpr>(i),
+                            resp.gprs[static_cast<std::size_t>(i)]);
+    }
+    if (resume)
+        transformVmcs12ToVmcs02();
+    return resume;
+}
+
+bool
+VirtStack::reflectHwSvt(const ExitInfo &info)
+{
+    const CostModel &c = machine_.costs();
+    VmxEngine &e0 = *engines_[0];
+    {
+        TimeScope l0(machine_, "stage.l0_handler");
+        machine_.consume(c.handlerDispatch + c.nestedExitCheck);
+        e0.vmptrld(vmcs01_.get());
+        svt_->loadFromVmcs(*vmcs01_);
+        // Exit information lands in the L1-visible memory; registers
+        // need no copying at all (they sit in context-2).
+        vmcs12_->recordExit(info);
+        machine_.consume(10 * c.vmcsFieldCopy);
+        machine_.consume(c.nestedStateMachine);
+    }
+    {
+        TimeScope sw(machine_, "stage.switch_l0_l1");
+        svt_->vmResume();
+    }
+    bool resume;
+    {
+        TimeScope l1(machine_, "stage.l1_handler");
+        l1ViaSvt_ = true;
+        resume = guestHv_->handleNestedExit(info, *ctxtBackend_);
+        l1ViaSvt_ = false;
+    }
+    {
+        // L1's VMRESUME traps: a thread stall/resume pair.
+        TimeScope sw(machine_, "stage.switch_l0_l1");
+        svt_->vmTrap();
+    }
+    {
+        TimeScope l0(machine_, "stage.l0_handler");
+        machine_.consume(c.handlerDispatch);
+        if (resume)
+            e0.vmptrld(vmcs02_.get());
+    }
+    if (resume)
+        transformVmcs12ToVmcs02();
+    return resume;
+}
+
+void
+VirtStack::svtSwitchOwner(int level)
+{
+    simAssert(level == 1 || level == 2, "svtSwitchOwner level");
+    if (!svtMultiplexed_ || svtCtx1Owner_ == level)
+        return;
+    const CostModel &c = machine_.costs();
+    HwContext &ctx = core_.context(1);
+    // Spill the displaced level's architectural state into its vCPU
+    // struct, reload the incoming level's — the software context
+    // switch SVt was designed to avoid, reintroduced by the capacity
+    // limit (Section 3.1).
+    Vcpu &out = (svtCtx1Owner_ == 2) ? *vcpuL2InL0_ : *vcpuL1_;
+    for (int i = 0; i < numGprs; ++i) {
+        out.setGpr(static_cast<Gpr>(i),
+                   ctx.readGpr(static_cast<Gpr>(i)));
+    }
+    out.rip = ctx.rip;
+    out.rflags = ctx.rflags;
+    machine_.consume(c.thunkRegSave * c.thunkRegs);
+    Vcpu &in = (level == 2) ? *vcpuL2InL0_ : *vcpuL1_;
+    for (int i = 0; i < numGprs; ++i) {
+        ctx.writeGpr(static_cast<Gpr>(i),
+                     in.gpr(static_cast<Gpr>(i)));
+    }
+    ctx.rip = in.rip;
+    ctx.rflags = in.rflags;
+    machine_.consume(c.thunkRegRestore * c.thunkRegs);
+    machine_.count("svt.ctx_multiplex");
+    svtCtx1Owner_ = level;
+}
+
+bool
+VirtStack::reflectHwSvtMultiplexed(const ExitInfo &info)
+{
+    const CostModel &c = machine_.costs();
+    VmxEngine &e0 = *engines_[0];
+    HwContext &ctx1 = core_.context(1);
+    {
+        TimeScope l0(machine_, "stage.l0_handler");
+        machine_.consume(c.handlerDispatch + c.nestedExitCheck);
+        e0.vmptrld(vmcs01_.get());
+        svt_->loadFromVmcs(*vmcs01_);
+        // Lazy sync of L2's trap context: the reads are cheap ctxtld
+        // accesses, but the values must land in memory because L2 is
+        // about to be displaced from the shared context.
+        machine_.consume(numGprs * (c.ctxtRegAccess + c.memAccess) +
+                         10 * c.vmcsFieldCopy);
+        for (int i = 0; i < numGprs; ++i) {
+            vcpuL2InL1_->setGpr(static_cast<Gpr>(i),
+                                ctx1.readGpr(static_cast<Gpr>(i)));
+        }
+        vmcs12_->recordExit(info);
+        vmcs12_->write(VmcsField::GuestRip, ctx1.rip);
+        vmcs12_->write(VmcsField::GuestRflags, ctx1.rflags);
+        machine_.consume(c.nestedStateMachine);
+    }
+    {
+        TimeScope sw(machine_, "stage.switch_l0_l1");
+        svtSwitchOwner(1);
+        svt_->vmResume();
+    }
+    bool resume;
+    {
+        TimeScope l1(machine_, "stage.l1_handler");
+        l1ViaSvt_ = true;
+        resume = guestHv_->handleNestedExit(info, *muxBackend_);
+        l1ViaSvt_ = false;
+    }
+    {
+        TimeScope sw(machine_, "stage.switch_l0_l1");
+        svt_->vmTrap();
+    }
+    {
+        TimeScope l0(machine_, "stage.l0_handler");
+        machine_.consume(c.handlerDispatch);
+        if (resume)
+            e0.vmptrld(vmcs02_.get());
+    }
+    if (resume)
+        transformVmcs12ToVmcs02();
+    return resume;
+}
+
+void
+VirtStack::serviceSvtThreadPreemption()
+{
+    if (pendingPreemption_ <= 0)
+        return;
+    Ticks duration = pendingPreemption_;
+    pendingPreemption_ = 0;
+    const CostModel &c = machine_.costs();
+    machine_.count("swsvt.preemption");
+
+    // Section 5.3 scenario: a kernel thread in the sibling preempts
+    // the SVt-thread and IPIs the L1 vCPU, spinning for the ack.
+    vcpuL1_->lapic().raise(vec::l1Ipi);
+    if (!config_.svtBlockedFix) {
+        throw DeadlockError(
+            "SW SVt interrupt deadlock (paper Section 5.3): the "
+            "SVt-thread was preempted by a kernel thread that IPIs "
+            "the L1 vCPU and waits, while L0 waits for CMD_VM_RESUME "
+            "and never runs the L1 vCPU. Enable "
+            "StackConfig::svtBlockedFix.");
+    }
+
+    // The fix: while waiting for the response, L0 checks for pending
+    // interrupts to the L1 vCPU and injects a synthetic SVT_BLOCKED
+    // trap so the vCPU enables interrupts and drains them, then
+    // yields straight back.
+    machine_.count("swsvt.svt_blocked");
+    machine_.consume(c.injectPrepare);
+    enterL1Window();
+    int v;
+    while ((v = vcpuL1_->lapic().ack()) >= 0) {
+        machine_.consume(c.interruptDeliver);
+        runIrqHandler(1, v);
+        machine_.consume(c.eoiWrite);
+    }
+    leaveL1Window();
+    // With the IPI acked, the preempting thread finishes its work and
+    // the SVt-thread gets the CPU back.
+    machine_.consume(duration);
+}
+
+// ------------------------------------------ L1-grade single-level traps
+
+std::uint64_t
+VirtStack::l1TrapRound(VmxEngine &engine, const ExitInfo &info)
+{
+    const CostModel &c = machine_.costs();
+    HwContext &ctx = engine.context();
+    engine.vmexit(info);
+    machine_.consume(c.thunkRegSave * c.thunkRegs);
+    for (int i = 0; i < numGprs; ++i) {
+        vcpuL1_->setGpr(static_cast<Gpr>(i),
+                        ctx.readGpr(static_cast<Gpr>(i)));
+    }
+    std::uint64_t result = handleL0Exit(info, &engine);
+    engine.vmentry(false);
+    for (int i = 0; i < numGprs; ++i) {
+        ctx.writeGpr(static_cast<Gpr>(i),
+                     vcpuL1_->gpr(static_cast<Gpr>(i)));
+    }
+    machine_.consume(c.thunkRegRestore * c.thunkRegs);
+    return result;
+}
+
+std::uint64_t
+VirtStack::svtTrapRound(const ExitInfo &info)
+{
+    const CostModel &c = machine_.costs();
+    HwContext &ctx1 = core_.context(1);
+    // Squash + retarget to the visor context; no state movement.
+    svt_->vmTrap();
+    // L0 pulls the registers it needs with ctxtld (is_vm==0, lvl 1 ->
+    // SVt_vm, i.e. L1's context).
+    machine_.consume(4 * c.ctxtRegAccess);
+    for (int i = 0; i < numGprs; ++i) {
+        vcpuL1_->setGpr(static_cast<Gpr>(i),
+                        ctx1.readGpr(static_cast<Gpr>(i)));
+    }
+    std::uint64_t result = handleL0Exit(info, nullptr);
+    machine_.consume(4 * c.ctxtRegAccess);
+    for (int i = 0; i < numGprs; ++i) {
+        ctx1.writeGpr(static_cast<Gpr>(i),
+                      vcpuL1_->gpr(static_cast<Gpr>(i)));
+    }
+    svt_->vmResume();
+    return result;
+}
+
+std::uint64_t
+VirtStack::handleL0Exit(const ExitInfo &info, VmxEngine *engine)
+{
+    const CostModel &c = machine_.costs();
+    machine_.consume(c.handlerDispatch);
+    machine_.count(std::string("l0.exit.") +
+                   exitReasonName(info.reason));
+
+    auto advance_rip = [&](std::uint64_t len) {
+        if (engine) {
+            std::uint64_t rip = engine->vmread(VmcsField::GuestRip);
+            engine->vmwrite(VmcsField::GuestRip, rip + len);
+        } else {
+            std::uint64_t rip = 0;
+            svt_->ctxtld(1, SvtSpecialReg::Rip, rip);
+            svt_->ctxtst(1, SvtSpecialReg::Rip, rip + len);
+        }
+    };
+
+    switch (info.reason) {
+      case ExitReason::Cpuid: {
+        machine_.consume(c.emulCpuid);
+        CpuidResult r = l0CpuidView_.query(vcpuL1_->gpr(Gpr::Rax));
+        vcpuL1_->setGpr(Gpr::Rax, r.eax);
+        vcpuL1_->setGpr(Gpr::Rbx, r.ebx);
+        vcpuL1_->setGpr(Gpr::Rcx, r.ecx);
+        vcpuL1_->setGpr(Gpr::Rdx, r.edx);
+        advance_rip(2);
+        return r.eax;
+      }
+      case ExitReason::Rdmsr: {
+        machine_.consume(c.emulMsr);
+        auto index =
+            static_cast<std::uint32_t>(vcpuL1_->gpr(Gpr::Rcx));
+        std::uint64_t value = 0;
+        auto it = l0Msrs_.find(index);
+        if (it != l0Msrs_.end())
+            value = it->second;
+        vcpuL1_->setGpr(Gpr::Rax, value & 0xffffffff);
+        vcpuL1_->setGpr(Gpr::Rdx, value >> 32);
+        advance_rip(2);
+        return value;
+      }
+      case ExitReason::Wrmsr: {
+        machine_.consume(c.emulMsr);
+        auto index =
+            static_cast<std::uint32_t>(vcpuL1_->gpr(Gpr::Rcx));
+        std::uint64_t value = (vcpuL1_->gpr(Gpr::Rdx) << 32) |
+                              (vcpuL1_->gpr(Gpr::Rax) & 0xffffffff);
+        if (index == msr::ia32TscDeadline) {
+            if (value == 0) {
+                vcpuL1_->lapic().cancelTscDeadline();
+            } else {
+                vcpuL1_->lapic().armTscDeadline(
+                    static_cast<Ticks>(value), vec::l1Timer);
+            }
+        } else {
+            l0Msrs_[index] = value;
+        }
+        advance_rip(2);
+        return 0;
+      }
+      case ExitReason::Vmread: {
+        machine_.consume(c.emulVmcsAccess + c.vmcsFieldCopy);
+        std::uint64_t value =
+            vmcs12_->read(static_cast<VmcsField>(info.field));
+        vcpuL1_->setGpr(Gpr::Rax, value);
+        advance_rip(3);
+        return value;
+      }
+      case ExitReason::Vmwrite: {
+        machine_.consume(c.emulVmcsAccess + c.vmcsFieldCopy);
+        vmcs12_->write(static_cast<VmcsField>(info.field), info.value);
+        advance_rip(3);
+        return 0;
+      }
+      case ExitReason::EptMisconfig: {
+        machine_.consume(c.mmioDecode);
+        const MmioRegion *region = nullptr;
+        for (const auto &r : l0Mmio_) {
+            if (info.guestPhysAddr >= r.base &&
+                info.guestPhysAddr < r.base + r.size) {
+                region = &r;
+                break;
+            }
+        }
+        if (!region) {
+            panic("L1 MMIO access to unmapped gpa %#llx",
+                  static_cast<unsigned long long>(info.guestPhysAddr));
+        }
+        bool is_write = info.qualification & 1;
+        int size = static_cast<int>(info.qualification >> 1 & 0xf);
+        std::uint64_t result = region->handler(
+            info.guestPhysAddr, size, info.value, is_write);
+        if (!is_write)
+            vcpuL1_->setGpr(Gpr::Rax, result);
+        advance_rip(3);
+        return result;
+      }
+      case ExitReason::Vmcall: {
+        std::uint64_t nr = vcpuL1_->gpr(Gpr::Rax);
+        std::uint64_t result = ~0ULL;
+        auto it = l0Hypercalls_.find(nr);
+        if (it != l0Hypercalls_.end()) {
+            result = it->second(vcpuL1_->gpr(Gpr::Rbx),
+                                vcpuL1_->gpr(Gpr::Rcx));
+        }
+        vcpuL1_->setGpr(Gpr::Rax, result);
+        advance_rip(3);
+        return result;
+      }
+      case ExitReason::IoInstruction: {
+        machine_.consume(c.emulMsr);
+        auto port =
+            static_cast<std::uint16_t>(info.qualification >> 16);
+        bool is_write = info.qualification & 1;
+        std::uint64_t result = ~0ULL;
+        auto it = l0IoPorts_.find(port);
+        if (it != l0IoPorts_.end())
+            result = it->second(port, info.value, is_write);
+        if (!is_write)
+            vcpuL1_->setGpr(Gpr::Rax, result);
+        advance_rip(2);
+        return result;
+      }
+      case ExitReason::Invept:
+        // Emulated INVEPT tears down the shadow EPT: translations
+        // re-merge lazily from ept12 on the next faults.
+        machine_.consume(c.emulVmcsAccess + c.mmioDecode);
+        ept02_->clear();
+        advance_rip(3);
+        return 0;
+      case ExitReason::Hlt:
+      case ExitReason::ExternalInterrupt:
+        return 0;
+      default:
+        panic("handleL0Exit: unhandled L1 exit %s",
+              exitReasonName(info.reason));
+    }
+}
+
+// ----------------------------------------------------------- L1 windows
+
+void
+VirtStack::enterL1Window()
+{
+    simAssert(!inL1Window_, "enterL1Window: window already open");
+    simAssert(!l2Running_, "enterL1Window while L2 runs");
+    const CostModel &c = machine_.costs();
+    VmxEngine &e0 = *engines_[0];
+    if (e0.currentVmcs() != vmcs01_.get())
+        e0.vmptrld(vmcs01_.get());
+    machine_.consume(c.injectPrepare);
+    if (config_.mode == VirtMode::HwSvt) {
+        if (svtMultiplexed_)
+            svtSwitchOwner(1);
+        svt_->loadFromVmcs(*vmcs01_);
+        svt_->vmResume();
+        l1ViaSvt_ = true;
+        l1Engine_ = nullptr;
+    } else {
+        e0.vmwrite(VmcsField::EntryIntrInfo, 1);
+        e0.vmentry(false);
+        machine_.consume(c.thunkRegRestore * c.thunkRegs);
+        l1Engine_ = &e0;
+    }
+    l1Vmcs_ = vmcs01_.get();
+    inL1Window_ = true;
+}
+
+void
+VirtStack::leaveL1Window()
+{
+    simAssert(inL1Window_, "leaveL1Window without a window");
+    const CostModel &c = machine_.costs();
+    if (config_.mode == VirtMode::HwSvt) {
+        svt_->vmTrap();
+    } else {
+        machine_.consume(c.thunkRegSave * c.thunkRegs);
+        engines_[0]->vmexit(ExitInfo{.reason = ExitReason::Hlt});
+        machine_.consume(c.handlerDispatch);
+    }
+    inL1Window_ = false;
+    l1Engine_ = nullptr;
+    l1ViaSvt_ = false;
+}
+
+int
+VirtStack::maybeInjectAndResumeL2(bool l2_was_running)
+{
+    simAssert(inL1Window_, "maybeInjectAndResumeL2 without L1 window");
+    const CostModel &c = machine_.costs();
+    if (!vcpuL2InL1_->lapic().hasPending()) {
+        leaveL1Window();
+        if (l2_was_running && !l2Running_)
+            resumeL2();
+        return 0;
+    }
+
+    int v = vcpuL2InL1_->lapic().ack();
+    machine_.consume(c.injectPrepare);
+    // L1 fills the VM-entry interruption field of vmcs01' and updates
+    // the interrupt-window / pending-event controls around it. None
+    // of these fields are shadowable, so in the baseline each access
+    // traps to L0.
+    L1Backend &backend =
+        (config_.mode == VirtMode::HwSvt)
+            ? (svtMultiplexed_
+                   ? static_cast<L1Backend &>(*muxBackend_)
+                   : static_cast<L1Backend &>(*ctxtBackend_))
+            : static_cast<L1Backend &>(*memBackend_);
+    for (int i = 0; i < c.l1InjectExtraVmcsTraps; ++i)
+        backend.vmcsWrite(VmcsField::EntryIntrInfo, 0);
+    backend.vmcsWrite(VmcsField::EntryIntrInfo,
+                      static_cast<std::uint64_t>(v) | 0x80000000ULL);
+    // L1 resumes L2: trap to L0 (Algorithm 1 line 12), then the
+    // return transform and the real entry.
+    if (config_.mode == VirtMode::HwSvt) {
+        svt_->vmTrap();
+    } else {
+        machine_.consume(c.thunkRegSave * c.thunkRegs);
+        engines_[0]->vmexit(ExitInfo{.reason = ExitReason::Vmresume});
+    }
+    inL1Window_ = false;
+    l1Engine_ = nullptr;
+    l1ViaSvt_ = false;
+    machine_.consume(c.handlerDispatch);
+    transformVmcs12ToVmcs02();
+    resumeL2();
+    machine_.consume(c.interruptDeliver);
+    l2DeliveredVector_ = v;
+    runIrqHandler(2, v);
+    // L2 signals EOI through the x2APIC MSR. APIC virtualization is
+    // not available to nested guests, so this is a full reflected
+    // exit (part of why interrupt-heavy I/O suffers so much in the
+    // baseline, Section 6.2).
+    machine_.consume(c.eoiWrite);
+    HwContext &l2ctx = l2Context();
+    l2ctx.writeGpr(Gpr::Rcx, msr::ia32X2apicEoi);
+    l2ctx.writeGpr(Gpr::Rax, 0);
+    l2ctx.writeGpr(Gpr::Rdx, 0);
+    nestedExitFromL2(ExitInfo{.reason = ExitReason::Wrmsr,
+                              .instrLength = 2});
+    return 1;
+}
+
+// ----------------------------------------------------------------- L1Api
+
+std::uint8_t
+L1Api::timerVector() const
+{
+    return vec::l1Timer;
+}
+
+HwContext &
+L1Api::ctx()
+{
+    if (stack_.l1ViaSvt_)
+        return stack_.core_.context(1);
+    simAssert(stack_.l1Engine_ != nullptr,
+              "L1 code executing without an execution window");
+    return stack_.l1Engine_->context();
+}
+
+std::uint64_t
+L1Api::trap(ExitInfo info)
+{
+    if (stack_.l1ViaSvt_)
+        return stack_.svtTrapRound(info);
+    simAssert(stack_.l1Engine_ != nullptr,
+              "L1 trap without an execution window");
+    return stack_.l1TrapRound(*stack_.l1Engine_, info);
+}
+
+void
+L1Api::compute(Ticks t)
+{
+    if (stack_.config_.mode == VirtMode::Single) {
+        // Chunked so device interrupts stay responsive.
+        const Ticks slice = usec(10);
+        while (t > 0) {
+            Ticks step = std::min(t, slice);
+            stack_.machine_.consume(step);
+            t -= step;
+            stack_.pumpInterrupts();
+        }
+        return;
+    }
+    stack_.machine_.consume(
+        static_cast<Ticks>(static_cast<double>(t) *
+                           stack_.l1Slowdown_));
+}
+
+CpuidResult
+L1Api::cpuid(std::uint64_t leaf)
+{
+    if (stack_.config_.mode == VirtMode::Single)
+        stack_.pumpInterrupts();
+    const CostModel &c = stack_.machine_.costs();
+    stack_.machine_.consume(c.cpuidExec);
+    ctx().writeGpr(Gpr::Rax, leaf);
+    trap(ExitInfo{.reason = ExitReason::Cpuid, .instrLength = 2});
+    return CpuidResult{ctx().readGpr(Gpr::Rax), ctx().readGpr(Gpr::Rbx),
+                       ctx().readGpr(Gpr::Rcx),
+                       ctx().readGpr(Gpr::Rdx)};
+}
+
+std::uint64_t
+L1Api::rdmsr(std::uint32_t index)
+{
+    if (stack_.config_.mode == VirtMode::Single)
+        stack_.pumpInterrupts();
+    ctx().writeGpr(Gpr::Rcx, index);
+    trap(ExitInfo{.reason = ExitReason::Rdmsr, .instrLength = 2});
+    return (ctx().readGpr(Gpr::Rdx) << 32) |
+           (ctx().readGpr(Gpr::Rax) & 0xffffffff);
+}
+
+void
+L1Api::wrmsr(std::uint32_t index, std::uint64_t value)
+{
+    if (stack_.config_.mode == VirtMode::Single)
+        stack_.pumpInterrupts();
+    ctx().writeGpr(Gpr::Rcx, index);
+    ctx().writeGpr(Gpr::Rax, value & 0xffffffff);
+    ctx().writeGpr(Gpr::Rdx, value >> 32);
+    trap(ExitInfo{.reason = ExitReason::Wrmsr, .instrLength = 2,
+                  .value = value});
+}
+
+std::uint64_t
+L1Api::mmioRead(Gpa addr, int size)
+{
+    if (stack_.config_.mode == VirtMode::Single)
+        stack_.pumpInterrupts();
+    auto r = stack_.ept01_->translate(addr, EptAccess::Read);
+    if (r.kind == Ept::Result::Kind::Misconfig) {
+        ExitInfo info;
+        info.reason = ExitReason::EptMisconfig;
+        info.qualification = static_cast<std::uint64_t>(size) << 1;
+        info.guestPhysAddr = addr;
+        info.instrLength = 3;
+        return trap(info);
+    }
+    panic("L1 MMIO read of unregistered gpa %#llx",
+          static_cast<unsigned long long>(addr));
+}
+
+void
+L1Api::mmioWrite(Gpa addr, int size, std::uint64_t value)
+{
+    if (stack_.config_.mode == VirtMode::Single)
+        stack_.pumpInterrupts();
+    auto r = stack_.ept01_->translate(addr, EptAccess::Write);
+    if (r.kind == Ept::Result::Kind::Misconfig) {
+        ExitInfo info;
+        info.reason = ExitReason::EptMisconfig;
+        info.qualification = 1 | static_cast<std::uint64_t>(size) << 1;
+        info.guestPhysAddr = addr;
+        info.instrLength = 3;
+        info.value = value;
+        trap(info);
+        return;
+    }
+    panic("L1 MMIO write to unregistered gpa %#llx",
+          static_cast<unsigned long long>(addr));
+}
+
+void
+L1Api::ioOut(std::uint16_t port, std::uint64_t value)
+{
+    if (stack_.config_.mode == VirtMode::Single)
+        stack_.pumpInterrupts();
+    ExitInfo info;
+    info.reason = ExitReason::IoInstruction;
+    info.qualification = (static_cast<std::uint64_t>(port) << 16) |
+                         (4ULL << 1) | 1;
+    info.value = value;
+    info.instrLength = 2;
+    trap(info);
+}
+
+std::uint64_t
+L1Api::ioIn(std::uint16_t port)
+{
+    if (stack_.config_.mode == VirtMode::Single)
+        stack_.pumpInterrupts();
+    ExitInfo info;
+    info.reason = ExitReason::IoInstruction;
+    info.qualification = (static_cast<std::uint64_t>(port) << 16) |
+                         (4ULL << 1);
+    info.instrLength = 2;
+    return trap(info);
+}
+
+std::uint64_t
+L1Api::vmcall(std::uint64_t nr, std::uint64_t a0, std::uint64_t a1)
+{
+    ctx().writeGpr(Gpr::Rax, nr);
+    ctx().writeGpr(Gpr::Rbx, a0);
+    ctx().writeGpr(Gpr::Rcx, a1);
+    return trap(
+        ExitInfo{.reason = ExitReason::Vmcall, .instrLength = 3});
+}
+
+int
+L1Api::halt()
+{
+    simAssert(stack_.config_.mode == VirtMode::Single,
+              "L1Api::halt outside Single mode");
+    const CostModel &c = stack_.machine_.costs();
+    VmxEngine &e0 = *stack_.engines_[0];
+    stack_.machine_.consume(c.thunkRegSave * c.thunkRegs);
+    e0.vmexit(ExitInfo{.reason = ExitReason::Hlt, .instrLength = 1});
+    stack_.singleGuestRunning_ = false;
+    stack_.machine_.consume(c.handlerDispatch);
+    for (;;) {
+        stack_.l2DeliveredVector_ = -1;
+        stack_.pumpInterrupts();
+        if (stack_.l2DeliveredVector_ >= 0)
+            return stack_.l2DeliveredVector_;
+        Ticks next = stack_.machine_.events().nextEventTime();
+        if (next == maxTick)
+            panic("L1Api::halt with no pending events (workload "
+                  "deadlock)");
+        stack_.machine_.idleUntil(next);
+    }
+}
+
+int
+L1Api::pollInterrupt()
+{
+    stack_.l2DeliveredVector_ = -1;
+    stack_.pumpInterrupts();
+    return stack_.l2DeliveredVector_;
+}
+
+// ----------------------------------------------------------------- L2Api
+
+std::uint8_t
+L2Api::timerVector() const
+{
+    return vec::l2Timer;
+}
+
+void
+L2Api::compute(Ticks t)
+{
+    simAssert(stack_.isNestedMode(), "L2Api outside nested mode");
+    // Chunked so device interrupts stay responsive during long
+    // computations (frame decode, request processing).
+    const Ticks slice = usec(10);
+    while (t > 0) {
+        Ticks step = std::min(t, slice);
+        {
+            TimeScope s(stack_.machine_, "stage.l2");
+            stack_.machine_.consume(step);
+        }
+        t -= step;
+        stack_.pumpInterrupts();
+    }
+}
+
+CpuidResult
+L2Api::cpuid(std::uint64_t leaf)
+{
+    simAssert(stack_.isNestedMode(), "L2Api outside nested mode");
+    stack_.pumpInterrupts();
+    const CostModel &c = stack_.machine_.costs();
+    {
+        TimeScope s(stack_.machine_, "stage.l2");
+        stack_.machine_.consume(c.cpuidExec);
+        ctx().writeGpr(Gpr::Rax, leaf);
+    }
+    stack_.nestedExitFromL2(
+        ExitInfo{.reason = ExitReason::Cpuid, .instrLength = 2});
+    return CpuidResult{ctx().readGpr(Gpr::Rax), ctx().readGpr(Gpr::Rbx),
+                       ctx().readGpr(Gpr::Rcx),
+                       ctx().readGpr(Gpr::Rdx)};
+}
+
+std::uint64_t
+L2Api::rdmsr(std::uint32_t index)
+{
+    stack_.pumpInterrupts();
+    if (stack_.guestHv_->msrPassthrough(index)) {
+        // The combined MSR bitmaps permit direct access: no exit.
+        stack_.machine_.consume(stack_.machine_.costs().msrNative);
+        return ctx().rdmsr(index);
+    }
+    {
+        TimeScope s(stack_.machine_, "stage.l2");
+        stack_.machine_.consume(stack_.machine_.costs().regOp);
+        ctx().writeGpr(Gpr::Rcx, index);
+    }
+    stack_.nestedExitFromL2(
+        ExitInfo{.reason = ExitReason::Rdmsr, .instrLength = 2});
+    return (ctx().readGpr(Gpr::Rdx) << 32) |
+           (ctx().readGpr(Gpr::Rax) & 0xffffffff);
+}
+
+void
+L2Api::wrmsr(std::uint32_t index, std::uint64_t value)
+{
+    stack_.pumpInterrupts();
+    if (stack_.guestHv_->msrPassthrough(index)) {
+        stack_.machine_.consume(stack_.machine_.costs().msrNative);
+        ctx().wrmsr(index, value);
+        return;
+    }
+    {
+        TimeScope s(stack_.machine_, "stage.l2");
+        stack_.machine_.consume(3 * stack_.machine_.costs().regOp);
+        ctx().writeGpr(Gpr::Rcx, index);
+        ctx().writeGpr(Gpr::Rax, value & 0xffffffff);
+        ctx().writeGpr(Gpr::Rdx, value >> 32);
+    }
+    stack_.nestedExitFromL2(ExitInfo{.reason = ExitReason::Wrmsr,
+                                     .instrLength = 2,
+                                     .value = value});
+}
+
+Ept::Result
+L2Api::resolveGpa(Gpa addr, EptAccess access)
+{
+    for (int tries = 0; tries < 4; ++tries) {
+        auto r = stack_.ept02_->translate(addr, access);
+        if (r.kind != Ept::Result::Kind::Violation)
+            return r;
+        ExitInfo info;
+        info.reason = ExitReason::EptViolation;
+        info.qualification = (access == EptAccess::Write) ? 1 : 0;
+        info.guestPhysAddr = addr;
+        stack_.nestedExitFromL2(info);
+    }
+    panic("L2 gpa %#llx failed to resolve",
+          static_cast<unsigned long long>(addr));
+}
+
+std::uint64_t
+L2Api::mmioRead(Gpa addr, int size)
+{
+    stack_.pumpInterrupts();
+    auto r = resolveGpa(addr, EptAccess::Read);
+    if (r.kind == Ept::Result::Kind::Ok) {
+        stack_.machine_.consume(stack_.machine_.costs().memAccess);
+        return 0;
+    }
+    ExitInfo info;
+    info.reason = ExitReason::EptMisconfig;
+    info.qualification = static_cast<std::uint64_t>(size) << 1;
+    info.guestPhysAddr = addr;
+    info.instrLength = 3;
+    stack_.nestedExitFromL2(info);
+    return ctx().readGpr(Gpr::Rax);
+}
+
+void
+L2Api::mmioWrite(Gpa addr, int size, std::uint64_t value)
+{
+    stack_.pumpInterrupts();
+    auto r = resolveGpa(addr, EptAccess::Write);
+    if (r.kind == Ept::Result::Kind::Ok) {
+        stack_.machine_.consume(stack_.machine_.costs().memAccess);
+        return;
+    }
+    ExitInfo info;
+    info.reason = ExitReason::EptMisconfig;
+    info.qualification = 1 | static_cast<std::uint64_t>(size) << 1;
+    info.guestPhysAddr = addr;
+    info.instrLength = 3;
+    info.value = value;
+    stack_.nestedExitFromL2(info);
+}
+
+void
+L2Api::ioOut(std::uint16_t port, std::uint64_t value)
+{
+    stack_.pumpInterrupts();
+    {
+        TimeScope s(stack_.machine_, "stage.l2");
+        stack_.machine_.consume(stack_.machine_.costs().regOp);
+    }
+    ExitInfo info;
+    info.reason = ExitReason::IoInstruction;
+    info.qualification = (static_cast<std::uint64_t>(port) << 16) |
+                         (4ULL << 1) | 1;
+    info.value = value;
+    info.instrLength = 2;
+    stack_.nestedExitFromL2(info);
+}
+
+std::uint64_t
+L2Api::ioIn(std::uint16_t port)
+{
+    stack_.pumpInterrupts();
+    {
+        TimeScope s(stack_.machine_, "stage.l2");
+        stack_.machine_.consume(stack_.machine_.costs().regOp);
+    }
+    ExitInfo info;
+    info.reason = ExitReason::IoInstruction;
+    info.qualification = (static_cast<std::uint64_t>(port) << 16) |
+                         (4ULL << 1);
+    info.instrLength = 2;
+    stack_.nestedExitFromL2(info);
+    return ctx().readGpr(Gpr::Rax);
+}
+
+std::uint64_t
+L2Api::vmcall(std::uint64_t nr, std::uint64_t a0, std::uint64_t a1)
+{
+    stack_.pumpInterrupts();
+    {
+        TimeScope s(stack_.machine_, "stage.l2");
+        stack_.machine_.consume(3 * stack_.machine_.costs().regOp);
+        ctx().writeGpr(Gpr::Rax, nr);
+        ctx().writeGpr(Gpr::Rbx, a0);
+        ctx().writeGpr(Gpr::Rcx, a1);
+    }
+    stack_.nestedExitFromL2(
+        ExitInfo{.reason = ExitReason::Vmcall, .instrLength = 3});
+    return ctx().readGpr(Gpr::Rax);
+}
+
+int
+L2Api::halt()
+{
+    stack_.l2DeliveredVector_ = -1;
+    stack_.pumpInterrupts();
+    if (stack_.l2DeliveredVector_ >= 0)
+        return stack_.l2DeliveredVector_;
+    {
+        TimeScope s(stack_.machine_, "stage.l2");
+        stack_.machine_.consume(stack_.machine_.costs().regOp);
+    }
+    stack_.nestedExitFromL2(
+        ExitInfo{.reason = ExitReason::Hlt, .instrLength = 1});
+    for (;;) {
+        stack_.pumpInterrupts();
+        if (stack_.l2DeliveredVector_ >= 0)
+            return stack_.l2DeliveredVector_;
+        Ticks next = stack_.machine_.events().nextEventTime();
+        if (next == maxTick)
+            panic("L2Api::halt with no pending events (workload "
+                  "deadlock)");
+        stack_.machine_.idleUntil(next);
+    }
+}
+
+int
+L2Api::pollInterrupt()
+{
+    stack_.l2DeliveredVector_ = -1;
+    stack_.pumpInterrupts();
+    return stack_.l2DeliveredVector_;
+}
+
+// ------------------------------------------------------------- backends
+
+std::uint64_t
+MemL1Backend::vmcsRead(VmcsField field)
+{
+    VmxEngine *e = stack_.l1Engine_;
+    simAssert(e != nullptr && e->inGuest(),
+              "L1 vmread outside an execution window");
+    std::uint64_t value = 0;
+    if (e->guestVmread(field, value))
+        return value;
+    ExitInfo info;
+    info.reason = ExitReason::Vmread;
+    info.field = static_cast<std::uint64_t>(field);
+    info.instrLength = 3;
+    return stack_.l1TrapRound(*e, info);
+}
+
+void
+MemL1Backend::vmcsWrite(VmcsField field, std::uint64_t value)
+{
+    VmxEngine *e = stack_.l1Engine_;
+    simAssert(e != nullptr && e->inGuest(),
+              "L1 vmwrite outside an execution window");
+    if (e->guestVmwrite(field, value))
+        return;
+    ExitInfo info;
+    info.reason = ExitReason::Vmwrite;
+    info.field = static_cast<std::uint64_t>(field);
+    info.value = value;
+    info.instrLength = 3;
+    stack_.l1TrapRound(*e, info);
+}
+
+std::uint64_t
+MemL1Backend::l2Gpr(Gpr reg)
+{
+    stack_.machine_.consume(costs().memAccess);
+    return stack_.vcpuL2InL1_->gpr(reg);
+}
+
+void
+MemL1Backend::setL2Gpr(Gpr reg, std::uint64_t value)
+{
+    stack_.machine_.consume(costs().memAccess);
+    stack_.vcpuL2InL1_->setGpr(reg, value);
+}
+
+void
+MemL1Backend::compute(Ticks t)
+{
+    stack_.machine_.consume(static_cast<Ticks>(
+        static_cast<double>(t) * stack_.l1Slowdown_));
+}
+
+std::uint64_t
+MuxL1Backend::vmcsRead(VmcsField field)
+{
+    const CostModel &c = costs();
+    if (stack_.config_.hwVmcsShadowing &&
+        vmcsFieldIsShadowable(field)) {
+        stack_.machine_.consume(c.vmShadowAccess);
+        return stack_.vmcs12_->read(field);
+    }
+    ExitInfo info;
+    info.reason = ExitReason::Vmread;
+    info.field = static_cast<std::uint64_t>(field);
+    return stack_.svtTrapRound(info);
+}
+
+void
+MuxL1Backend::vmcsWrite(VmcsField field, std::uint64_t value)
+{
+    const CostModel &c = costs();
+    if (stack_.config_.hwVmcsShadowing &&
+        vmcsFieldIsShadowable(field)) {
+        stack_.machine_.consume(c.vmShadowAccess);
+        stack_.vmcs12_->write(field, value);
+        return;
+    }
+    ExitInfo info;
+    info.reason = ExitReason::Vmwrite;
+    info.field = static_cast<std::uint64_t>(field);
+    info.value = value;
+    stack_.svtTrapRound(info);
+}
+
+std::uint64_t
+MuxL1Backend::l2Gpr(Gpr reg)
+{
+    // L2 has been displaced from the shared context: its registers
+    // live in the in-memory vCPU struct.
+    stack_.machine_.consume(costs().memAccess);
+    return stack_.vcpuL2InL1_->gpr(reg);
+}
+
+void
+MuxL1Backend::setL2Gpr(Gpr reg, std::uint64_t value)
+{
+    stack_.machine_.consume(costs().memAccess);
+    stack_.vcpuL2InL1_->setGpr(reg, value);
+}
+
+void
+MuxL1Backend::compute(Ticks t)
+{
+    stack_.machine_.consume(t);
+}
+
+std::uint64_t
+CtxtL1Backend::vmcsRead(VmcsField field)
+{
+    const CostModel &c = costs();
+    if (field == VmcsField::GuestRip ||
+        field == VmcsField::GuestRflags) {
+        std::uint64_t value = 0;
+        auto reg = (field == VmcsField::GuestRip) ? SvtSpecialReg::Rip
+                                                  : SvtSpecialReg::Rflags;
+        auto a = stack_.svt_->ctxtld(1, reg, value);
+        simAssert(a == SvtUnit::Access::Ok, "ctxtld trap unexpected");
+        return value;
+    }
+    if (stack_.config_.hwVmcsShadowing &&
+        vmcsFieldIsShadowable(field)) {
+        stack_.machine_.consume(c.vmShadowAccess);
+        return stack_.vmcs12_->read(field);
+    }
+    ExitInfo info;
+    info.reason = ExitReason::Vmread;
+    info.field = static_cast<std::uint64_t>(field);
+    return stack_.svtTrapRound(info);
+}
+
+void
+CtxtL1Backend::vmcsWrite(VmcsField field, std::uint64_t value)
+{
+    const CostModel &c = costs();
+    if (field == VmcsField::GuestRip ||
+        field == VmcsField::GuestRflags) {
+        auto reg = (field == VmcsField::GuestRip) ? SvtSpecialReg::Rip
+                                                  : SvtSpecialReg::Rflags;
+        auto a = stack_.svt_->ctxtst(1, reg, value);
+        simAssert(a == SvtUnit::Access::Ok, "ctxtst trap unexpected");
+        stack_.vmcs12_->write(field, value);
+        return;
+    }
+    if (stack_.config_.hwVmcsShadowing &&
+        vmcsFieldIsShadowable(field)) {
+        stack_.machine_.consume(c.vmShadowAccess);
+        stack_.vmcs12_->write(field, value);
+        return;
+    }
+    ExitInfo info;
+    info.reason = ExitReason::Vmwrite;
+    info.field = static_cast<std::uint64_t>(field);
+    info.value = value;
+    stack_.svtTrapRound(info);
+}
+
+std::uint64_t
+CtxtL1Backend::l2Gpr(Gpr reg)
+{
+    std::uint64_t value = 0;
+    auto a = stack_.svt_->ctxtld(1, reg, value);
+    simAssert(a == SvtUnit::Access::Ok, "ctxtld trap unexpected");
+    return value;
+}
+
+void
+CtxtL1Backend::setL2Gpr(Gpr reg, std::uint64_t value)
+{
+    auto a = stack_.svt_->ctxtst(1, reg, value);
+    simAssert(a == SvtUnit::Access::Ok, "ctxtst trap unexpected");
+}
+
+void
+CtxtL1Backend::compute(Ticks t)
+{
+    stack_.machine_.consume(t);
+}
+
+// ------------------------------------------------------ NativeApi extras
+
+std::uint8_t
+NativeApi::timerVector() const
+{
+    return vec::hostTimer;
+}
+
+} // namespace svtsim

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Configuration of the virtualization stack assembled by VirtStack.
+ */
+
+#ifndef SVTSIM_HV_STACK_CONFIG_H
+#define SVTSIM_HV_STACK_CONFIG_H
+
+#include "hv/channel.h"
+
+namespace svtsim {
+
+/** How the workload is virtualized (the Figure 6 bar set). */
+enum class VirtMode
+{
+    /** Bare metal (the paper's "L0" bar). */
+    Native,
+    /** One virtualization level (the "L1" bar). */
+    Single,
+    /** Nested baseline: L2 on L1 on L0 (the "L2" bar). */
+    Nested,
+    /** Nested with the software-only SVt prototype (Section 5.2). */
+    SwSvt,
+    /** Nested with SVt hardware (Sections 3-4), fully simulated. */
+    HwSvt,
+};
+
+const char *virtModeName(VirtMode mode);
+
+/** Tuning knobs of the stack (defaults reproduce the paper's setup). */
+struct StackConfig
+{
+    VirtMode mode = VirtMode::Nested;
+
+    /** Intel-style hardware VMCS shadowing available and used by L0
+     *  for L1's VMCS accesses (on for the paper's Haswell testbed;
+     *  ablation bench turns it off). */
+    bool hwVmcsShadowing = true;
+
+    /** SW SVt channel configuration (Section 6.1 explores these). */
+    ChannelModel channel{};
+
+    /** Apply the Section 5.3 SVT_BLOCKED deadlock fix. Turning this
+     *  off demonstrates the interrupt deadlock in tests. */
+    bool svtBlockedFix = true;
+
+    /** Eagerly load full guest state at VM entry instead of lazily
+     *  (ablation; the paper's systems are lazy, Section 3.1). */
+    bool eagerStateLoad = false;
+
+    /**
+     * HW SVt extension sketched in Section 3.1: "SVt could
+     * selectively bypass some virtualization levels when triggering a
+     * VM trap to bring performance even closer to systems with full
+     * hardware support for nested virtualization". When enabled, L2
+     * exits whose reason L0 whitelisted (cpuid, rdmsr, vmcall, pause
+     * — reasons that touch no L0-owned state) retarget fetch straight
+     * to the guest hypervisor's context; L0 is only involved when the
+     * L1 handler itself traps.
+     */
+    bool svtDirectReflect = false;
+
+    /** Core on which the stack runs. */
+    int coreIndex = 0;
+};
+
+} // namespace svtsim
+
+#endif // SVTSIM_HV_STACK_CONFIG_H

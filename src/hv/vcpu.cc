@@ -1,0 +1,18 @@
+#include "hv/vcpu.h"
+
+namespace svtsim {
+
+namespace {
+
+int nextVcpuApicId = 1000;
+
+} // namespace
+
+Vcpu::Vcpu(Machine &machine, std::string name)
+    : name_(std::move(name)),
+      lapic_(std::make_unique<Lapic>(machine.events(), machine.costs(),
+                                     nextVcpuApicId++))
+{
+}
+
+} // namespace svtsim

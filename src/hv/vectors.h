@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Interrupt vector assignments used across the stack.
+ */
+
+#ifndef SVTSIM_HV_VECTORS_H
+#define SVTSIM_HV_VECTORS_H
+
+#include <cstdint>
+
+namespace svtsim {
+namespace vec {
+
+/** Physical NIC interrupt (delivered to L0). */
+constexpr std::uint8_t hostNic = 0x50;
+/** Physical/host disk completion interrupt (delivered to L0). */
+constexpr std::uint8_t hostDisk = 0x51;
+
+/** L1's virtio-net device interrupt (raised by L0's vhost). */
+constexpr std::uint8_t l1VirtioNet = 0x60;
+/** L1's virtio-blk device interrupt. */
+constexpr std::uint8_t l1VirtioBlk = 0x61;
+/** L1's local timer (TSC deadline armed by L1). */
+constexpr std::uint8_t l1Timer = 0xee;
+/** Inter-processor interrupt between L1 vCPUs. */
+constexpr std::uint8_t l1Ipi = 0xfd;
+
+/** L2's virtio-net device interrupt (raised by L1's vhost). */
+constexpr std::uint8_t l2VirtioNet = 0x70;
+/** L2's virtio-blk device interrupt. */
+constexpr std::uint8_t l2VirtioBlk = 0x71;
+/** L2's local timer. */
+constexpr std::uint8_t l2Timer = 0xef;
+
+/** Bare-metal timer vector (Native mode workloads). */
+constexpr std::uint8_t hostTimer = 0xed;
+
+} // namespace vec
+} // namespace svtsim
+
+#endif // SVTSIM_HV_VECTORS_H

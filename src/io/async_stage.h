@@ -1,0 +1,44 @@
+/**
+ * @file
+ * AsyncStage: a single-server pipeline stage with a busy horizon,
+ * used to model work that happens off the measured vCPU (vhost worker
+ * threads, NIC DMA engines). Such work adds wall-clock delay but does
+ * not consume the measured vCPU's cycles.
+ */
+
+#ifndef SVTSIM_IO_ASYNC_STAGE_H
+#define SVTSIM_IO_ASYNC_STAGE_H
+
+#include <algorithm>
+
+#include "sim/ticks.h"
+
+namespace svtsim {
+
+/** One FIFO server: jobs start at max(ready, freeAt) and hold the
+ *  server for their service time. */
+class AsyncStage
+{
+  public:
+    /**
+     * Enqueue a job that becomes ready at @p ready and needs
+     * @p service time.
+     * @return The completion time.
+     */
+    Ticks
+    completeAt(Ticks ready, Ticks service)
+    {
+        Ticks start = std::max(ready, freeAt_);
+        freeAt_ = start + service;
+        return freeAt_;
+    }
+
+    Ticks freeAt() const { return freeAt_; }
+
+  private:
+    Ticks freeAt_ = 0;
+};
+
+} // namespace svtsim
+
+#endif // SVTSIM_IO_ASYNC_STAGE_H

@@ -1,0 +1,76 @@
+#include "io/net_fabric.h"
+
+#include <algorithm>
+
+#include "sim/log.h"
+
+namespace svtsim {
+
+namespace {
+
+/** Ethernet + IP + TCP framing per segment. */
+constexpr std::uint32_t framingBytes = 78;
+
+} // namespace
+
+NetFabric::NetFabric(Machine &machine, Ticks latency,
+                     double bits_per_sec)
+    : machine_(machine), latency_(latency), bitsPerSec_(bits_per_sec)
+{
+    if (bits_per_sec <= 0)
+        fatal("NetFabric requires a positive link rate");
+}
+
+void
+NetFabric::setPeerHandler(std::function<void(NetPacket)> handler)
+{
+    peerHandler_ = std::move(handler);
+}
+
+void
+NetFabric::setLocalHandler(std::function<void(NetPacket)> handler)
+{
+    localHandler_ = std::move(handler);
+}
+
+Ticks
+NetFabric::serialization(std::uint32_t bytes) const
+{
+    double bits = static_cast<double>(bytes + framingBytes) * 8.0;
+    return static_cast<Ticks>(bits / bitsPerSec_ * 1e12);
+}
+
+void
+NetFabric::transmit(const NetPacket &pkt, Ticks &free_at,
+                    std::function<void(NetPacket)> &handler,
+                    std::uint64_t &counter)
+{
+    if (!handler)
+        panic("NetFabric: transmit with no receiver configured");
+    Ticks now = machine_.now();
+    Ticks start = std::max(now, free_at);
+    Ticks done = start + serialization(pkt.bytes);
+    free_at = done;
+    Ticks arrival = done + latency_;
+    auto &h = handler;
+    NetPacket copy = pkt;
+    std::uint64_t *ctr = &counter;
+    machine_.events().schedule(arrival, [&h, copy, ctr] {
+        ++*ctr;
+        h(copy);
+    }, "net-fabric");
+}
+
+void
+NetFabric::sendToPeer(const NetPacket &pkt)
+{
+    transmit(pkt, txFreeAt_, peerHandler_, toPeer_);
+}
+
+void
+NetFabric::sendToLocal(const NetPacket &pkt)
+{
+    transmit(pkt, rxFreeAt_, localHandler_, toLocal_);
+}
+
+} // namespace svtsim

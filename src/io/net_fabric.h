@@ -1,0 +1,72 @@
+/**
+ * @file
+ * The physical network: a 10 GbE link between the device-under-test
+ * machine and a bare-metal peer (Table 4's Intel X540-AT2).
+ */
+
+#ifndef SVTSIM_IO_NET_FABRIC_H
+#define SVTSIM_IO_NET_FABRIC_H
+
+#include <cstdint>
+#include <functional>
+
+#include "arch/machine.h"
+
+namespace svtsim {
+
+/** One packet on the wire. */
+struct NetPacket
+{
+    std::uint64_t id = 0;
+    std::uint32_t bytes = 0;
+    std::uint64_t payload = 0;
+};
+
+/**
+ * Point-to-point link with propagation latency and serialization
+ * bandwidth. Serialization is modeled with a per-direction "link free
+ * at" horizon, so back-to-back large segments queue behind each other
+ * and the STREAM workloads saturate at line rate.
+ */
+class NetFabric
+{
+  public:
+    NetFabric(Machine &machine, Ticks latency, double bits_per_sec);
+
+    /** Handler invoked (as an event) when a packet reaches the peer. */
+    void setPeerHandler(std::function<void(NetPacket)> handler);
+
+    /** Handler invoked when a packet reaches the local machine. */
+    void setLocalHandler(std::function<void(NetPacket)> handler);
+
+    /** Transmit from the local machine toward the peer. */
+    void sendToPeer(const NetPacket &pkt);
+
+    /** Transmit from the peer toward the local machine. */
+    void sendToLocal(const NetPacket &pkt);
+
+    /** Serialization time of @p bytes at link rate (with framing). */
+    Ticks serialization(std::uint32_t bytes) const;
+
+    std::uint64_t deliveredToPeer() const { return toPeer_; }
+    std::uint64_t deliveredToLocal() const { return toLocal_; }
+
+  private:
+    void transmit(const NetPacket &pkt, Ticks &free_at,
+                  std::function<void(NetPacket)> &handler,
+                  std::uint64_t &counter);
+
+    Machine &machine_;
+    Ticks latency_;
+    double bitsPerSec_;
+    Ticks txFreeAt_ = 0;
+    Ticks rxFreeAt_ = 0;
+    std::function<void(NetPacket)> peerHandler_;
+    std::function<void(NetPacket)> localHandler_;
+    std::uint64_t toPeer_ = 0;
+    std::uint64_t toLocal_ = 0;
+};
+
+} // namespace svtsim
+
+#endif // SVTSIM_IO_NET_FABRIC_H

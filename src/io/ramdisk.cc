@@ -1,0 +1,48 @@
+#include "io/ramdisk.h"
+
+#include <algorithm>
+
+#include "sim/log.h"
+
+namespace svtsim {
+
+RamDisk::RamDisk(Machine &machine, std::string name)
+    : machine_(machine), name_(std::move(name))
+{
+}
+
+void
+RamDisk::setCompletionHandler(std::function<void(std::uint64_t)> fn)
+{
+    completion_ = std::move(fn);
+}
+
+Ticks
+RamDisk::serviceTime(std::uint32_t bytes, bool write) const
+{
+    const CostModel &c = machine_.costs();
+    Ticks t = c.blockLayerPerRequest +
+              static_cast<Ticks>(bytes) * c.diskCopyPerByte;
+    if (write)
+        t += c.blockWriteSurcharge;
+    return t;
+}
+
+void
+RamDisk::submit(std::uint64_t id, std::uint64_t lba,
+                std::uint32_t bytes, bool write)
+{
+    if (!completion_)
+        panic("RamDisk %s: submit with no completion handler",
+              name_.c_str());
+    (void)lba;
+    Ticks start = std::max(machine_.now(), freeAt_);
+    Ticks done = start + serviceTime(bytes, write);
+    freeAt_ = done;
+    machine_.events().schedule(done, [this, id] {
+        ++completed_;
+        completion_(id);
+    }, "ramdisk");
+}
+
+} // namespace svtsim

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * RamDisk: the ramfs-backed storage of Table 4 ("virtio disk @
+ * ramfs"), so access times are independent of storage technology.
+ */
+
+#ifndef SVTSIM_IO_RAMDISK_H
+#define SVTSIM_IO_RAMDISK_H
+
+#include <cstdint>
+#include <functional>
+
+#include "arch/machine.h"
+
+namespace svtsim {
+
+/**
+ * Asynchronous ramfs-backed disk: a request completes after the
+ * in-memory copy/bookkeeping time; completions are delivered through
+ * a callback (the host driver raises the disk interrupt from it).
+ */
+class RamDisk
+{
+  public:
+    RamDisk(Machine &machine, std::string name);
+
+    /** Completion callback (request id). */
+    void setCompletionHandler(std::function<void(std::uint64_t)> fn);
+
+    /** Submit a request; completes asynchronously. */
+    void submit(std::uint64_t id, std::uint64_t lba,
+                std::uint32_t bytes, bool write);
+
+    /** Pure service time of a request (no queueing). */
+    Ticks serviceTime(std::uint32_t bytes, bool write) const;
+
+    std::uint64_t completedCount() const { return completed_; }
+
+  private:
+    Machine &machine_;
+    std::string name_;
+    std::function<void(std::uint64_t)> completion_;
+    /** Device busy horizon: one request in service at a time. */
+    Ticks freeAt_ = 0;
+    std::uint64_t completed_ = 0;
+};
+
+} // namespace svtsim
+
+#endif // SVTSIM_IO_RAMDISK_H

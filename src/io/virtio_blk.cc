@@ -1,0 +1,177 @@
+#include "io/virtio_blk.h"
+
+#include <algorithm>
+
+#include "hv/vectors.h"
+#include "sim/log.h"
+
+namespace svtsim {
+
+VirtioBlkStack::VirtioBlkStack(VirtStack &stack, RamDisk &disk)
+    : stack_(stack), disk_(disk),
+      l2Q_(stack.machine(), "l2.blk.q"),
+      l1Compl_(stack.machine(), "l1.blk.compl"),
+      l2Compl_(stack.machine(), "l2.blk.compl")
+{
+    stack_.l1Hv().registerMmio(
+        ioaddr::l2BlkDoorbell, pageSize,
+        [this](Gpa addr, int size, std::uint64_t value,
+               bool is_write) {
+            return l1VhostBlk(addr, size, value, is_write);
+        });
+    // L1's own virtio-blk doorbell is kicked by L1's I/O thread from
+    // a different vCPU; register a no-op for completeness.
+    stack_.registerL0Mmio(
+        ioaddr::l1BlkDoorbell, pageSize,
+        [](Gpa, int, std::uint64_t, bool) -> std::uint64_t {
+            return 0;
+        });
+    disk_.setCompletionHandler(
+        [this](std::uint64_t id) { onDiskComplete(id); });
+
+    stack_.setIrqHandler(0, vec::hostDisk, [this] { l0DiskIrq(); });
+    stack_.setIrqHandler(1, vec::l1VirtioBlk, [this] { l1BlkIrq(); });
+    stack_.setIrqHandler(2, vec::l2VirtioBlk, [this] { l2BlkIrq(); });
+}
+
+void
+VirtioBlkStack::setCompletionHandler(
+    std::function<void(std::uint64_t)> fn)
+{
+    completionHandler_ = std::move(fn);
+}
+
+void
+VirtioBlkStack::submit(std::uint64_t id, std::uint64_t lba,
+                       std::uint32_t bytes, bool write)
+{
+    GuestApi &l2 = stack_.apiAt(2);
+    inflight_[id] = Request{lba, bytes, write};
+    bool kick = l2Q_.post(VirtioBuffer{id, bytes, lba, !write});
+    if (kick)
+        l2.mmioWrite(ioaddr::l2BlkDoorbell, 4, 1);
+}
+
+std::uint64_t
+VirtioBlkStack::l1VhostBlk(Gpa, int, std::uint64_t, bool)
+{
+    // Runs in L1 context inside the reflected kick. KVM's side only
+    // signals the backend; the filesystem work on L2's image file
+    // (a file in L1's ramfs) happens on L1's I/O thread, which runs
+    // on a different vCPU.
+    GuestApi &l1 = stack_.apiAt(1);
+    l1.compute(nsec(400)); // eventfd signal
+    vhostBlkPoll();
+    return 0;
+}
+
+void
+VirtioBlkStack::vhostBlkPoll()
+{
+    Machine &m = stack_.machine();
+    const CostModel &c = m.costs();
+    VirtioBuffer buf;
+    bool drained_any = false;
+    while (l2Q_.takeQuiet(buf)) {
+        drained_any = true;
+        auto it = inflight_.find(buf.id);
+        simAssert(it != inflight_.end(), "unknown blk request");
+        const Request &req = it->second;
+        // L1's file backend: block layer + page-cache copy.
+        Ticks fs = c.blockLayerPerRequest +
+                   static_cast<Ticks>(req.bytes) * c.diskCopyPerByte;
+        if (req.write)
+            fs += c.blockWriteSurcharge;
+        Ticks l1_done = l1BlkWorker_.completeAt(
+            m.now() + c.l1IoThreadWake, fs);
+        // L0's vhost-blk picks the request off L1's own virtio disk
+        // (the kick there comes from L1's I/O thread, not from the
+        // measured vCPU) and hands it to the ramdisk.
+        Ticks l0_done =
+            l0BlkWorker_.completeAt(l1_done, c.vhostPerBuffer);
+        std::uint64_t id = buf.id;
+        std::uint64_t lba = req.lba;
+        std::uint32_t bytes = req.bytes;
+        bool write = req.write;
+        m.events().schedule(l0_done, [this, id, lba, bytes, write] {
+            disk_.submit(id, lba, bytes, write);
+        }, "vhost-blk");
+    }
+    if (drained_any)
+        lastBlkDrain_ = m.now();
+    bool pipeline_busy = l1BlkWorker_.freeAt() > m.now();
+    bool lingering = m.now() - lastBlkDrain_ <= c.vhostLingerPoll;
+    if (pipeline_busy || lingering) {
+        l2Q_.deviceBusy();
+        if (!blkPollScheduled_) {
+            blkPollScheduled_ = true;
+            Ticks cadence = std::max(l1BlkWorker_.freeAt() - m.now(),
+                                     usec(10));
+            m.events().scheduleIn(cadence, [this] {
+                blkPollScheduled_ = false;
+                vhostBlkPoll();
+            }, "vhost-blk-poll");
+        }
+    }
+}
+
+void
+VirtioBlkStack::onDiskComplete(std::uint64_t id)
+{
+    // Event context: host storage completion interrupt.
+    l0Backlog_.push_back(id);
+    stack_.raiseHostIrq(vec::hostDisk);
+}
+
+void
+VirtioBlkStack::l0DiskIrq()
+{
+    Machine &m = stack_.machine();
+    const CostModel &c = m.costs();
+    while (!l0Backlog_.empty()) {
+        std::uint64_t id = l0Backlog_.front();
+        l0Backlog_.pop_front();
+        m.consume(c.vhostPerBuffer);
+        auto it = inflight_.find(id);
+        simAssert(it != inflight_.end(), "unknown blk completion");
+        l1Compl_.complete(
+            VirtioBuffer{id, it->second.bytes, it->second.lba, true});
+        stack_.raiseL1Irq(vec::l1VirtioBlk);
+    }
+}
+
+void
+VirtioBlkStack::l1BlkIrq()
+{
+    // L1 context: complete its own virtio request, copy data back
+    // through the page cache, complete L2's request.
+    GuestApi &l1 = stack_.apiAt(1);
+    const CostModel &c = stack_.machine().costs();
+    VirtioBuffer buf;
+    while (l1Compl_.popUsed(buf)) {
+        l1.compute(c.vhostPerBuffer +
+                   static_cast<Ticks>(buf.bytes) * c.diskCopyPerByte);
+        for (int i = 0; i < c.l1IoBackendTraps; ++i)
+            l1.wrmsr(msr::ia32X2apicEoi, 0);
+        l2Compl_.complete(buf);
+        stack_.raiseL2Irq(vec::l2VirtioBlk);
+    }
+}
+
+void
+VirtioBlkStack::l2BlkIrq()
+{
+    const CostModel &c = stack_.machine().costs();
+    GuestApi &l2 = stack_.apiAt(2);
+    VirtioBuffer buf;
+    while (l2Compl_.popUsed(buf)) {
+        // Guest block layer completion path.
+        l2.compute(c.blockLayerPerRequest / 2);
+        ++completed_;
+        inflight_.erase(buf.id);
+        if (completionHandler_)
+            completionHandler_(buf.id);
+    }
+}
+
+} // namespace svtsim

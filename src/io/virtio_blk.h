@@ -1,0 +1,80 @@
+/**
+ * @file
+ * The nested virtio-blk plumbing (Table 4: "virtio disk @ ramfs" at
+ * both L1 and L2):
+ *
+ *   L2 driver --kick--> L1 vhost-blk (L2 image on L1's ramfs)
+ *      --kick--> L0 vhost-blk --> RamDisk
+ *   completion --> L0 IRQ --> L1 IRQ --> L2 IRQ --> completion cb
+ */
+
+#ifndef SVTSIM_IO_VIRTIO_BLK_H
+#define SVTSIM_IO_VIRTIO_BLK_H
+
+#include <functional>
+#include <unordered_map>
+
+#include "hv/virt_stack.h"
+#include "io/async_stage.h"
+#include "io/ramdisk.h"
+#include "io/virtio_net.h" // ioaddr
+#include "io/virtqueue.h"
+
+namespace svtsim {
+
+/**
+ * The full nested virtio-blk stack plus its L2 driver interface.
+ */
+class VirtioBlkStack
+{
+  public:
+    VirtioBlkStack(VirtStack &stack, RamDisk &disk);
+
+    // -- L2 guest driver interface --------------------------------------
+    /** Submit a request; the completion handler fires in L2 interrupt
+     *  context. */
+    void submit(std::uint64_t id, std::uint64_t lba,
+                std::uint32_t bytes, bool write);
+
+    void setCompletionHandler(std::function<void(std::uint64_t)> fn);
+
+    std::uint64_t completedCount() const { return completed_; }
+
+  private:
+    struct Request
+    {
+        std::uint64_t lba;
+        std::uint32_t bytes;
+        bool write;
+    };
+
+    std::uint64_t l1VhostBlk(Gpa addr, int size, std::uint64_t value,
+                             bool is_write);
+    /** Drain L2's queue into the off-vCPU backend pipeline; lingers
+     *  like the net path (QEMU iothread adaptive polling). */
+    void vhostBlkPoll();
+    void onDiskComplete(std::uint64_t id);
+    void l0DiskIrq();
+    void l1BlkIrq();
+    void l2BlkIrq();
+
+    VirtStack &stack_;
+    RamDisk &disk_;
+    Virtqueue l2Q_;
+    Virtqueue l1Compl_;
+    Virtqueue l2Compl_;
+    /** L1's vhost-blk / file-backend worker (separate vCPU). */
+    AsyncStage l1BlkWorker_;
+    /** L0's vhost-blk worker (separate core). */
+    AsyncStage l0BlkWorker_;
+    bool blkPollScheduled_ = false;
+    Ticks lastBlkDrain_ = -sec(1);
+    std::deque<std::uint64_t> l0Backlog_;
+    std::unordered_map<std::uint64_t, Request> inflight_;
+    std::function<void(std::uint64_t)> completionHandler_;
+    std::uint64_t completed_ = 0;
+};
+
+} // namespace svtsim
+
+#endif // SVTSIM_IO_VIRTIO_BLK_H

@@ -1,0 +1,207 @@
+#include "io/virtio_net.h"
+
+#include <algorithm>
+
+#include "hv/vectors.h"
+#include "sim/log.h"
+
+namespace svtsim {
+
+VirtioNetStack::VirtioNetStack(VirtStack &stack, NetFabric &fabric)
+    : stack_(stack), fabric_(fabric),
+      l2Tx_(stack.machine(), "l2.net.tx"),
+      l2Rx_(stack.machine(), "l2.net.rx"),
+      l1Rx_(stack.machine(), "l1.net.rx")
+{
+    // L2's device: emulated by L1 (vhost in L1's kernel).
+    stack_.l1Hv().registerMmio(
+        ioaddr::l2NetDoorbell, pageSize,
+        [this](Gpa addr, int size, std::uint64_t value,
+               bool is_write) {
+            return l1VhostTx(addr, size, value, is_write);
+        });
+    // L1's own virtio-net doorbell: its vhost thread kicks it from a
+    // different vCPU, so this handler only exists for completeness.
+    stack_.registerL0Mmio(
+        ioaddr::l1NetDoorbell, pageSize,
+        [](Gpa, int, std::uint64_t, bool) -> std::uint64_t {
+            return 0;
+        });
+
+    fabric_.setLocalHandler([this](NetPacket pkt) { onWireRx(pkt); });
+
+    stack_.setIrqHandler(0, vec::hostNic, [this] { l0NicIrq(); });
+    stack_.setIrqHandler(1, vec::l1VirtioNet, [this] { l1NetIrq(); });
+    stack_.setIrqHandler(2, vec::l2VirtioNet, [this] { l2NetIrq(); });
+}
+
+void
+VirtioNetStack::setRxHandler(std::function<void(NetPacket)> handler)
+{
+    rxHandler_ = std::move(handler);
+}
+
+void
+VirtioNetStack::send(std::uint32_t bytes, std::uint64_t id,
+                     std::uint64_t payload)
+{
+    GuestApi &l2 = stack_.apiAt(2);
+    // Guest TCP/IP stack per segment.
+    l2.compute(stack_.machine().costs().tcpStackPerSegment);
+    bool kick = l2Tx_.post(VirtioBuffer{id, bytes, payload, false});
+    if (kick)
+        l2.mmioWrite(ioaddr::l2NetDoorbell, 4, 1);
+    ++txPackets_;
+}
+
+std::uint64_t
+VirtioNetStack::l1VhostTx(Gpa, int, std::uint64_t, bool)
+{
+    // Runs in L1 context inside the reflected EPT_MISCONFIG handler.
+    // KVM's side of the kick only signals the vhost worker's eventfd;
+    // the packet processing itself happens on the vhost threads (L1)
+    // and L0's vhost-net, which run on other vCPUs/cores: wall-clock
+    // pipeline delay, not measured-vCPU time.
+    GuestApi &l1 = stack_.apiAt(1);
+    l1.compute(nsec(400)); // eventfd signal
+    vhostTxPoll();
+    return 0;
+}
+
+void
+VirtioNetStack::vhostTxPoll()
+{
+    Machine &m = stack_.machine();
+    const CostModel &c = m.costs();
+    VirtioBuffer buf;
+    bool drained_any = false;
+    while (l2Tx_.takeQuiet(buf)) {
+        drained_any = true;
+        Ticks l1_done = l1TxVhost_.completeAt(
+            m.now() + c.l1IoThreadWake,
+            c.vhostPerBuffer +
+                static_cast<Ticks>(buf.bytes) * c.netCopyPerByte);
+        Ticks l0_done = l0TxVhost_.completeAt(
+            l1_done,
+            c.nicPerPacket +
+                static_cast<Ticks>(buf.bytes) * c.netCopyPerByte);
+        NetPacket pkt{buf.id, buf.bytes, buf.payload};
+        auto *fabric = &fabric_;
+        m.events().schedule(l0_done,
+                            [fabric, pkt] { fabric->sendToPeer(pkt); },
+                            "vhost-tx");
+        l2Tx_.completeQuiet(buf);
+        ++txUnreaped_;
+    }
+    if (drained_any)
+        lastTxDrain_ = m.now();
+    // The worker keeps polling the ring while its pipeline is busy
+    // (virtio EVENT_IDX) and for a busy-poll linger window after the
+    // last drained buffer (vhost busyloop_timeout): a bulk sender
+    // posts descriptors without paying a doorbell exit per segment.
+    bool pipeline_busy = l1TxVhost_.freeAt() > m.now();
+    bool lingering = m.now() - lastTxDrain_ <= c.vhostLingerPoll;
+    if (pipeline_busy || lingering) {
+        l2Tx_.deviceBusy();
+        if (!txPollScheduled_) {
+            txPollScheduled_ = true;
+            Ticks cadence = std::max(l1TxVhost_.freeAt() - m.now(),
+                                     usec(10));
+            m.events().scheduleIn(cadence, [this] {
+                txPollScheduled_ = false;
+                vhostTxPoll();
+            }, "vhost-tx-poll");
+        }
+    }
+    // Tx-completion interrupts are heavily suppressed (NAPI tx): the
+    // guest reaps descriptors when the worker goes idle or when a
+    // large batch has accumulated, not per segment.
+    if (txUnreaped_ > 0 &&
+        ((!pipeline_busy && !lingering) || txUnreaped_ >= 64)) {
+        txUnreaped_ = 0;
+        stack_.raiseL2Irq(vec::l2VirtioNet);
+    }
+}
+
+void
+VirtioNetStack::onWireRx(NetPacket pkt)
+{
+    // Event context: the NIC DMA-ed the packet. The host IRQ fires
+    // now; L0's vhost-net worker (separate core) copies the packet
+    // into L1's rx ring and only then is L1's interrupt delivered.
+    Machine &m = stack_.machine();
+    const CostModel &c = m.costs();
+    stack_.raiseHostIrq(vec::hostNic);
+    Ticks done = l0RxVhost_.completeAt(
+        m.now(), c.nicPerPacket + c.vhostPerBuffer +
+                     static_cast<Ticks>(pkt.bytes) * c.netCopyPerByte);
+    m.events().schedule(done, [this, pkt] {
+        if (l1Rx_.usedFull()) {
+            // L1 is overloaded: the NIC ring overruns and the packet
+            // is dropped.
+            stack_.machine().count("net.rx_drop");
+            return;
+        }
+        l1Rx_.completeQuiet(
+            VirtioBuffer{pkt.id, pkt.bytes, pkt.payload, true});
+        stack_.raiseL1Irq(vec::l1VirtioNet);
+    }, "vhost-rx");
+}
+
+void
+VirtioNetStack::l0NicIrq()
+{
+    // The host-side interrupt handler: ack the NIC and schedule NAPI;
+    // the heavy lifting happens on the vhost worker.
+    stack_.machine().consume(nsec(600));
+}
+
+void
+VirtioNetStack::l1NetIrq()
+{
+    // L1 context (its vCPU took the virtio-net interrupt): receive,
+    // then the vhost backend for L2 forwards into L2's rx ring.
+    GuestApi &l1 = stack_.apiAt(1);
+    const CostModel &c = stack_.machine().costs();
+    VirtioBuffer buf;
+    bool any = false;
+    while (l1Rx_.popUsed(buf)) {
+        l1.compute(c.vhostPerBuffer +
+                   static_cast<Ticks>(buf.bytes) * c.netCopyPerByte);
+        if (l2Rx_.usedFull()) {
+            // The guest is not keeping up: the ring is full and the
+            // packet is dropped, exactly like an overloaded virtio
+            // queue.
+            stack_.machine().count("net.rx_drop");
+            continue;
+        }
+        l2Rx_.complete(buf);
+        any = true;
+    }
+    if (any) {
+        // L1-grade sensitive housekeeping per interrupt (its own EOI,
+        // irqfd signalling, TPR updates).
+        for (int i = 0; i < c.l1IoBackendTraps; ++i)
+            l1.wrmsr(msr::ia32X2apicEoi, 0);
+        stack_.raiseL2Irq(vec::l2VirtioNet);
+    }
+}
+
+void
+VirtioNetStack::l2NetIrq()
+{
+    GuestApi &l2 = stack_.apiAt(2);
+    const CostModel &c = stack_.machine().costs();
+    VirtioBuffer buf;
+    // Reap tx completions (skb freeing).
+    while (l2Tx_.popUsed(buf))
+        l2.compute(c.memAccess * 8);
+    while (l2Rx_.popUsed(buf)) {
+        l2.compute(c.tcpStackPerSegment);
+        ++rxPackets_;
+        if (rxHandler_)
+            rxHandler_(NetPacket{buf.id, buf.bytes, buf.payload});
+    }
+}
+
+} // namespace svtsim

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * The nested virtio-net plumbing of the evaluation platform (Table 4:
+ * "virtio-net-pci + vhost" at both L1 and L2):
+ *
+ *   L2 driver --kick--> L1 vhost --kick--> L0 vhost --> NIC --> wire
+ *   wire --> NIC --> L0 IRQ --> L1 IRQ --> L2 IRQ --> L2 driver
+ *
+ * Every arrow that crosses a virtualization boundary goes through the
+ * real trap paths of the VirtStack, so the exit structure (and its
+ * cost under baseline / SW SVt / HW SVt) emerges mechanistically.
+ */
+
+#ifndef SVTSIM_IO_VIRTIO_NET_H
+#define SVTSIM_IO_VIRTIO_NET_H
+
+#include <functional>
+
+#include "hv/virt_stack.h"
+#include "io/async_stage.h"
+#include "io/net_fabric.h"
+#include "io/virtqueue.h"
+
+namespace svtsim {
+
+/** Guest-physical doorbell addresses of the modeled devices. */
+namespace ioaddr {
+
+/** L2's virtio-net doorbell (in L2's physical space). */
+constexpr Gpa l2NetDoorbell = 0xfe000000;
+/** L2's virtio-blk doorbell. */
+constexpr Gpa l2BlkDoorbell = 0xfe001000;
+/** L1's virtio-net doorbell (in L1's physical space). */
+constexpr Gpa l1NetDoorbell = 0xfd000000;
+/** L1's virtio-blk doorbell. */
+constexpr Gpa l1BlkDoorbell = 0xfd001000;
+
+} // namespace ioaddr
+
+/**
+ * The full nested virtio-net stack plus its guest-driver interface.
+ *
+ * Requires a VirtStack in one of the nested modes. The L2-visible
+ * driver interface (send / rx handler) is what the network workloads
+ * program against.
+ */
+class VirtioNetStack
+{
+  public:
+    VirtioNetStack(VirtStack &stack, NetFabric &fabric);
+
+    // -- L2 guest driver interface -------------------------------------
+    /**
+     * Transmit a segment: guest TCP/IP stack work, a descriptor and
+     * (when the device is idle) a doorbell kick.
+     */
+    void send(std::uint32_t bytes, std::uint64_t id,
+              std::uint64_t payload = 0);
+
+    /** Handler invoked (in L2 interrupt context) per received
+     *  segment. */
+    void setRxHandler(std::function<void(NetPacket)> handler);
+
+    // -- Statistics -------------------------------------------------------
+    std::uint64_t txPackets() const { return txPackets_; }
+    std::uint64_t rxPackets() const { return rxPackets_; }
+
+  private:
+    /** L1 kick handler: signal the vhost worker, schedule the
+     *  off-vCPU tx pipeline. */
+    std::uint64_t l1VhostTx(Gpa addr, int size, std::uint64_t value,
+                            bool is_write);
+    /** Drain the L2 tx ring into the off-vCPU pipeline; re-polls
+     *  itself while the pipeline is busy (kick suppression). */
+    void vhostTxPoll();
+    /** Wire delivery at the local NIC (event context). */
+    void onWireRx(NetPacket pkt);
+    /** L0 host IRQ: move packets into L1's rx ring. */
+    void l0NicIrq();
+    /** L1 IRQ: forward to L2's rx ring (vhost for L2). */
+    void l1NetIrq();
+    /** L2 IRQ: guest driver receive path. */
+    void l2NetIrq();
+
+    VirtStack &stack_;
+    NetFabric &fabric_;
+    Virtqueue l2Tx_;
+    Virtqueue l2Rx_;
+    Virtqueue l1Rx_;
+    /** vhost tx worker in L1 (separate vCPU). */
+    AsyncStage l1TxVhost_;
+    /** vhost-net tx worker in L0 (separate core) + NIC. */
+    AsyncStage l0TxVhost_;
+    /** vhost-net rx worker in L0 (separate core). */
+    AsyncStage l0RxVhost_;
+    bool txPollScheduled_ = false;
+    /** Last time the tx worker found work (busy-poll window base). */
+    Ticks lastTxDrain_ = -sec(1);
+    /** Consumed tx descriptors not yet reaped by the guest. */
+    std::uint64_t txUnreaped_ = 0;
+    std::function<void(NetPacket)> rxHandler_;
+    std::uint64_t txPackets_ = 0;
+    std::uint64_t rxPackets_ = 0;
+};
+
+} // namespace svtsim
+
+#endif // SVTSIM_IO_VIRTIO_NET_H

@@ -1,0 +1,84 @@
+#include "io/virtqueue.h"
+
+#include "sim/log.h"
+
+namespace svtsim {
+
+Virtqueue::Virtqueue(Machine &machine, std::string name,
+                     std::size_t size)
+    : machine_(machine), name_(std::move(name)), size_(size)
+{
+    if (size == 0)
+        fatal("Virtqueue requires a non-zero ring size");
+}
+
+bool
+Virtqueue::post(const VirtioBuffer &buf)
+{
+    if (avail_.size() >= size_)
+        panic("Virtqueue %s available-ring overflow", name_.c_str());
+    machine_.consume(machine_.costs().virtqueueDescriptor);
+    avail_.push_back(buf);
+    ++posted_;
+    if (!deviceRunning_) {
+        deviceRunning_ = true;
+        ++kicks_;
+        return true;
+    }
+    return false;
+}
+
+bool
+Virtqueue::popUsed(VirtioBuffer &out)
+{
+    if (used_.empty())
+        return false;
+    machine_.consume(machine_.costs().memAccess * 2);
+    out = used_.front();
+    used_.pop_front();
+    return true;
+}
+
+bool
+Virtqueue::take(VirtioBuffer &out)
+{
+    if (avail_.empty()) {
+        deviceRunning_ = false;
+        return false;
+    }
+    machine_.consume(machine_.costs().memAccess * 2);
+    out = avail_.front();
+    avail_.pop_front();
+    return true;
+}
+
+bool
+Virtqueue::takeQuiet(VirtioBuffer &out)
+{
+    if (avail_.empty()) {
+        deviceRunning_ = false;
+        return false;
+    }
+    out = avail_.front();
+    avail_.pop_front();
+    return true;
+}
+
+void
+Virtqueue::complete(const VirtioBuffer &buf)
+{
+    if (used_.size() >= size_)
+        panic("Virtqueue %s used-ring overflow", name_.c_str());
+    machine_.consume(machine_.costs().memAccess * 2);
+    used_.push_back(buf);
+}
+
+void
+Virtqueue::completeQuiet(const VirtioBuffer &buf)
+{
+    if (used_.size() >= size_)
+        panic("Virtqueue %s used-ring overflow", name_.c_str());
+    used_.push_back(buf);
+}
+
+} // namespace svtsim

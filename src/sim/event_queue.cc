@@ -1,0 +1,120 @@
+#include "sim/event_queue.h"
+
+#include "sim/log.h"
+
+namespace svtsim {
+
+EventId
+EventQueue::schedule(Ticks when, std::function<void()> fn,
+                     std::string label)
+{
+    if (when < now_) {
+        panic("EventQueue::schedule in the past (when=%lld now=%lld %s)",
+              static_cast<long long>(when), static_cast<long long>(now_),
+              label.c_str());
+    }
+    EventId id = nextId_++;
+    heap_.push(Entry{when, nextSeq_++, id, std::move(fn),
+                     std::move(label)});
+    pending_.insert(id);
+    ++live_;
+    return id;
+}
+
+EventId
+EventQueue::scheduleIn(Ticks delta, std::function<void()> fn,
+                       std::string label)
+{
+    return schedule(now_ + delta, std::move(fn), std::move(label));
+}
+
+bool
+EventQueue::deschedule(EventId id)
+{
+    // Cancelling an already-fired, already-cancelled or unknown handle
+    // is a no-op, matching the forgiving semantics of timer APIs.
+    auto it = pending_.find(id);
+    if (it == pending_.end())
+        return false;
+    pending_.erase(it);
+    --live_;
+    return true;
+}
+
+Ticks
+EventQueue::nextEventTime() const
+{
+    const_cast<EventQueue *>(this)->popCancelled();
+    if (heap_.empty())
+        return maxTick;
+    return heap_.top().when;
+}
+
+void
+EventQueue::popCancelled()
+{
+    // Cancelled entries stay in the heap (lazy deletion) and are
+    // discarded when they surface.
+    while (!heap_.empty() && !pending_.count(heap_.top().id))
+        heap_.pop();
+}
+
+void
+EventQueue::advanceTo(Ticks when)
+{
+    if (when < now_) {
+        panic("EventQueue::advanceTo into the past (when=%lld now=%lld)",
+              static_cast<long long>(when),
+              static_cast<long long>(now_));
+    }
+    for (;;) {
+        popCancelled();
+        if (heap_.empty() || heap_.top().when > when)
+            break;
+        Entry e = heap_.top();
+        heap_.pop();
+        pending_.erase(e.id);
+        --live_;
+        now_ = e.when;
+        ++executed_;
+        e.fn();
+    }
+    now_ = when;
+}
+
+void
+EventQueue::advanceBy(Ticks delta)
+{
+    simAssert(delta >= 0, "EventQueue::advanceBy negative delta");
+    advanceTo(now_ + delta);
+}
+
+bool
+EventQueue::runNext()
+{
+    popCancelled();
+    if (heap_.empty())
+        return false;
+    Entry e = heap_.top();
+    heap_.pop();
+    pending_.erase(e.id);
+    --live_;
+    now_ = e.when;
+    ++executed_;
+    e.fn();
+    return true;
+}
+
+bool
+EventQueue::runUntil(const std::function<bool()> &pred)
+{
+    if (pred())
+        return true;
+    while (runNext()) {
+        if (pred())
+            return true;
+    }
+    return false;
+}
+
+} // namespace svtsim

@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Discrete-event core: EventQueue and the Clock view used by the
+ * synchronous execution model.
+ *
+ * The simulator mixes two styles:
+ *
+ *  - Asynchronous entities (devices, timers, network links) schedule
+ *    zero-duration callbacks on the EventQueue. Handlers must not
+ *    consume time; they flip state (assert an IRQ line, complete a
+ *    descriptor) that synchronous code observes later.
+ *
+ *  - Synchronous code (guest programs, hypervisor exit handlers)
+ *    consumes modeled time via Clock::consume(). Consuming time runs
+ *    every event whose timestamp is passed, in order, so device
+ *    completions and interrupts appear at the right simulated instant.
+ */
+
+#ifndef SVTSIM_SIM_EVENT_QUEUE_H
+#define SVTSIM_SIM_EVENT_QUEUE_H
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/ticks.h"
+
+namespace svtsim {
+
+/** Handle used to cancel a scheduled event. */
+using EventId = std::uint64_t;
+
+/** Invalid/none event handle. */
+constexpr EventId invalidEventId = 0;
+
+/**
+ * Time-ordered queue of zero-duration callbacks.
+ *
+ * Events at the same tick run in scheduling order (FIFO), which keeps
+ * runs deterministic.
+ */
+class EventQueue
+{
+  public:
+    EventQueue() = default;
+
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
+    /** Current simulated time. */
+    Ticks now() const { return now_; }
+
+    /**
+     * Schedule @p fn to run at absolute time @p when.
+     *
+     * @return A handle that can be passed to deschedule().
+     * @pre when >= now().
+     */
+    EventId schedule(Ticks when, std::function<void()> fn,
+                     std::string label = {});
+
+    /** Schedule @p fn to run @p delta ticks from now. */
+    EventId scheduleIn(Ticks delta, std::function<void()> fn,
+                       std::string label = {});
+
+    /**
+     * Cancel a pending event. Cancelling an already-fired or unknown
+     * handle is a no-op (matches typical timer APIs).
+     *
+     * @return True if the event was pending and is now cancelled.
+     */
+    bool deschedule(EventId id);
+
+    /** Whether any events are pending. */
+    bool empty() const { return live_ == 0; }
+
+    /** Number of pending (non-cancelled) events. */
+    std::size_t size() const { return live_; }
+
+    /** Time of the next pending event, or maxTick if none. */
+    Ticks nextEventTime() const;
+
+    /**
+     * Advance time to @p when, running every event with timestamp
+     * <= @p when in order. Each event runs with now() set to its own
+     * timestamp; afterwards now() == when.
+     *
+     * @pre when >= now().
+     */
+    void advanceTo(Ticks when);
+
+    /** Advance time by @p delta ticks (see advanceTo()). */
+    void advanceBy(Ticks delta);
+
+    /**
+     * Run the next pending event, advancing now() to its timestamp.
+     *
+     * @return True if an event ran, false if the queue was empty.
+     */
+    bool runNext();
+
+    /**
+     * Run events until @p pred returns true or the queue drains.
+     * @p pred is evaluated after every event.
+     *
+     * @return True if pred held; false if the queue drained first.
+     */
+    bool runUntil(const std::function<bool()> &pred);
+
+    /** Total number of events executed so far (for stats/tests). */
+    std::uint64_t executedCount() const { return executed_; }
+
+  private:
+    struct Entry
+    {
+        Ticks when;
+        std::uint64_t seq;
+        EventId id;
+        std::function<void()> fn;
+        std::string label;
+
+        bool
+        operator>(const Entry &other) const
+        {
+            if (when != other.when)
+                return when > other.when;
+            return seq > other.seq;
+        }
+    };
+
+    void popCancelled();
+
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+    std::unordered_set<EventId> pending_;
+    std::size_t live_ = 0;
+    Ticks now_ = 0;
+    std::uint64_t nextSeq_ = 0;
+    EventId nextId_ = 1;
+    std::uint64_t executed_ = 0;
+};
+
+/**
+ * A per-executor view of simulated time.
+ *
+ * Synchronous code holds a Clock and calls consume() to model the cost
+ * of the work it performs. The clock forwards to the shared EventQueue
+ * so device events interleave correctly.
+ *
+ * The Clock also tracks an "accounting scope" stack so benchmarks can
+ * attribute elapsed time to stages (e.g., the six parts of Table 1).
+ */
+class Clock
+{
+  public:
+    explicit Clock(EventQueue &eq) : eq_(&eq) {}
+
+    /** Current simulated time. */
+    Ticks now() const { return eq_->now(); }
+
+    /** Consume @p t ticks of simulated time (runs due events). */
+    void
+    consume(Ticks t)
+    {
+        if (t > 0)
+            eq_->advanceBy(t);
+    }
+
+    /** Underlying event queue. */
+    EventQueue &queue() { return *eq_; }
+
+  private:
+    EventQueue *eq_;
+};
+
+} // namespace svtsim
+
+#endif // SVTSIM_SIM_EVENT_QUEUE_H

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Deterministic random number generation for workload models.
+ *
+ * All stochastic behaviour in the simulator flows through Rng so that a
+ * run is reproducible from its seed. The generator is SplitMix64: tiny,
+ * fast, and passes BigCrush for this use case.
+ */
+
+#ifndef SVTSIM_SIM_RANDOM_H
+#define SVTSIM_SIM_RANDOM_H
+
+#include <cstdint>
+#include <vector>
+
+namespace svtsim {
+
+/** Deterministic PRNG plus the distributions the workloads need. */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x5eed5eed5eed5eedULL)
+        : state_(seed)
+    {}
+
+    /** Next raw 64-bit value (SplitMix64). */
+    std::uint64_t next();
+
+    /** Uniform double in [0, 1). */
+    double uniform();
+
+    /** Uniform double in [lo, hi). */
+    double uniform(double lo, double hi);
+
+    /** Uniform integer in [0, n). @pre n > 0. */
+    std::uint64_t below(std::uint64_t n);
+
+    /** Uniform integer in [lo, hi]. @pre lo <= hi. */
+    std::int64_t range(std::int64_t lo, std::int64_t hi);
+
+    /** Bernoulli trial with probability p of true. */
+    bool chance(double p);
+
+    /** Exponential variate with the given mean. @pre mean > 0. */
+    double exponential(double mean);
+
+    /** Normal variate (Box-Muller). */
+    double normal(double mean, double stddev);
+
+    /**
+     * Log-normal variate parameterized by the mean and stddev of the
+     * underlying normal (the classic service-time model for key-value
+     * store request sizes).
+     */
+    double logNormal(double mu, double sigma);
+
+    /**
+     * Generalized-Pareto variate, used by the ETC key-value workload
+     * model for value sizes (Atikoglu et al., SIGMETRICS'12).
+     */
+    double generalizedPareto(double location, double scale, double shape);
+
+    /** Fork an independent stream (for per-entity generators). */
+    Rng fork();
+
+  private:
+    std::uint64_t state_;
+};
+
+/**
+ * Zipf-distributed integer sampler over [0, n), exponent s.
+ *
+ * Used for key popularity in the key-value store workload. Uses the
+ * rejection-inversion method of Hörmann and Derflinger so construction
+ * is O(1) and sampling is O(1) expected, independent of n.
+ */
+class ZipfSampler
+{
+  public:
+    ZipfSampler(std::uint64_t n, double s);
+
+    /** Sample a rank in [0, n); rank 0 is the most popular. */
+    std::uint64_t operator()(Rng &rng) const;
+
+    std::uint64_t n() const { return n_; }
+    double s() const { return s_; }
+
+  private:
+    double h(double x) const;
+    double hInv(double x) const;
+
+    std::uint64_t n_;
+    double s_;
+    double hx0_;
+    double hxn_;
+    double cut_;
+};
+
+} // namespace svtsim
+
+#endif // SVTSIM_SIM_RANDOM_H

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Simulation time base.
+ *
+ * One tick is one picosecond. Picosecond resolution lets the cost model
+ * express sub-nanosecond per-operation costs (e.g., a single physical
+ * register file access at 2.4 GHz is ~417 ps) without losing determinism
+ * to floating point.
+ */
+
+#ifndef SVTSIM_SIM_TICKS_H
+#define SVTSIM_SIM_TICKS_H
+
+#include <cstdint>
+
+namespace svtsim {
+
+/** Simulation time, in picoseconds. */
+using Ticks = std::int64_t;
+
+/** A point that compares later than any schedulable event. */
+constexpr Ticks maxTick = INT64_MAX;
+
+/** Convert picoseconds to ticks (identity; for call-site clarity). */
+constexpr Ticks
+psec(double v)
+{
+    return static_cast<Ticks>(v);
+}
+
+/** Convert nanoseconds to ticks. */
+constexpr Ticks
+nsec(double v)
+{
+    return static_cast<Ticks>(v * 1e3);
+}
+
+/** Convert microseconds to ticks. */
+constexpr Ticks
+usec(double v)
+{
+    return static_cast<Ticks>(v * 1e6);
+}
+
+/** Convert milliseconds to ticks. */
+constexpr Ticks
+msec(double v)
+{
+    return static_cast<Ticks>(v * 1e9);
+}
+
+/** Convert seconds to ticks. */
+constexpr Ticks
+sec(double v)
+{
+    return static_cast<Ticks>(v * 1e12);
+}
+
+/** Convert ticks back to fractional microseconds (for reporting). */
+constexpr double
+toUsec(Ticks t)
+{
+    return static_cast<double>(t) / 1e6;
+}
+
+/** Convert ticks back to fractional nanoseconds (for reporting). */
+constexpr double
+toNsec(Ticks t)
+{
+    return static_cast<double>(t) / 1e3;
+}
+
+/** Convert ticks back to fractional seconds (for reporting). */
+constexpr double
+toSec(Ticks t)
+{
+    return static_cast<double>(t) / 1e12;
+}
+
+/**
+ * Convert a cycle count at a given frequency to ticks.
+ *
+ * @param cycles Number of core cycles.
+ * @param ghz Core frequency in GHz.
+ */
+constexpr Ticks
+cycles(double cycles, double ghz)
+{
+    return static_cast<Ticks>(cycles * 1e3 / ghz);
+}
+
+} // namespace svtsim
+
+#endif // SVTSIM_SIM_TICKS_H

@@ -1,0 +1,90 @@
+#include "stats/confidence.h"
+
+#include <cmath>
+
+#include "sim/log.h"
+
+namespace svtsim {
+
+namespace {
+
+/**
+ * One rejection + convergence evaluation pass over @p samples.
+ * Returns the accepted-sample statistics.
+ */
+ConfidenceResult
+evaluateOnce(const std::vector<double> &samples, double tolerance,
+             double outlier_sigmas)
+{
+    Summary all;
+    for (double s : samples)
+        all.add(s);
+
+    // Outlier rejection with k-sigma confidence relative to the raw
+    // sample statistics.
+    double lo = all.mean() - outlier_sigmas * all.stddev();
+    double hi = all.mean() + outlier_sigmas * all.stddev();
+
+    Summary kept;
+    std::uint64_t rejected = 0;
+    for (double s : samples) {
+        if (samples.size() >= 2 && (s < lo || s > hi)) {
+            ++rejected;
+            continue;
+        }
+        kept.add(s);
+    }
+
+    ConfidenceResult r;
+    r.mean = kept.mean();
+    r.stddev = kept.stddev();
+    r.accepted = kept.count();
+    r.rejected = rejected;
+    // 2-sigma confidence half-width of the mean under the tolerance.
+    double half_width = 2.0 * kept.sem();
+    r.converged = kept.count() >= 2 &&
+                  half_width <= tolerance * std::abs(kept.mean());
+    // A zero-variance series is trivially converged.
+    if (kept.count() >= 2 && kept.stddev() == 0.0)
+        r.converged = true;
+    return r;
+}
+
+} // namespace
+
+ConfidenceResult
+ConfidenceRunner::run(const std::function<double()> &sample) const
+{
+    if (minSamples < 2)
+        fatal("ConfidenceRunner requires minSamples >= 2");
+    std::vector<double> samples;
+    samples.reserve(minSamples);
+    for (std::uint64_t i = 0; i < minSamples; ++i)
+        samples.push_back(sample());
+
+    for (;;) {
+        ConfidenceResult r =
+            evaluateOnce(samples, tolerance, outlierSigmas);
+        if (r.converged || samples.size() >= maxSamples) {
+            r.converged = r.converged && samples.size() <= maxSamples;
+            return r;
+        }
+        // Grow the sample set geometrically to bound re-evaluation
+        // cost at O(n log n) overall.
+        std::uint64_t target = samples.size() + samples.size() / 2 + 1;
+        if (target > maxSamples)
+            target = maxSamples;
+        while (samples.size() < target)
+            samples.push_back(sample());
+    }
+}
+
+ConfidenceResult
+ConfidenceRunner::evaluate(const std::vector<double> &samples) const
+{
+    if (samples.empty())
+        fatal("ConfidenceRunner::evaluate on empty sample set");
+    return evaluateOnce(samples, tolerance, outlierSigmas);
+}
+
+} // namespace svtsim

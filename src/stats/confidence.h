@@ -1,0 +1,68 @@
+/**
+ * @file
+ * The paper's measurement methodology (§6): repeat an experiment until
+ * the standard deviation is below 1% of the mean with 2-sigma
+ * confidence, after rejecting outliers with 4-sigma confidence.
+ */
+
+#ifndef SVTSIM_STATS_CONFIDENCE_H
+#define SVTSIM_STATS_CONFIDENCE_H
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "stats/summary.h"
+
+namespace svtsim {
+
+/** Result of a ConfidenceRunner execution. */
+struct ConfidenceResult
+{
+    /** Mean of the accepted samples. */
+    double mean = 0.0;
+    /** Standard deviation of the accepted samples. */
+    double stddev = 0.0;
+    /** Samples kept after outlier rejection. */
+    std::uint64_t accepted = 0;
+    /** Samples rejected as 4-sigma outliers. */
+    std::uint64_t rejected = 0;
+    /** Whether the 2-sigma / 1% criterion was met before maxSamples. */
+    bool converged = false;
+};
+
+/**
+ * Drives a sampled experiment to statistical convergence.
+ *
+ * Mirrors the paper: "repeated until standard deviation and timing
+ * overheads are below 1% of the mean with 2σ confidence, after removing
+ * outliers with 4σ confidence".
+ */
+class ConfidenceRunner
+{
+  public:
+    /** Relative half-width target: 2*sem <= tolerance*mean. */
+    double tolerance = 0.01;
+    /** Reject samples more than this many sigmas from the mean. */
+    double outlierSigmas = 4.0;
+    /** Always take at least this many samples. */
+    std::uint64_t minSamples = 30;
+    /** Give up (converged=false) after this many samples. */
+    std::uint64_t maxSamples = 200000;
+
+    /**
+     * Repeatedly invoke @p sample (returning one measurement) until
+     * convergence or maxSamples.
+     */
+    ConfidenceResult run(const std::function<double()> &sample) const;
+
+    /**
+     * Apply outlier rejection + convergence test to a fixed sample set
+     * (for offline series).
+     */
+    ConfidenceResult evaluate(const std::vector<double> &samples) const;
+};
+
+} // namespace svtsim
+
+#endif // SVTSIM_STATS_CONFIDENCE_H

@@ -1,0 +1,82 @@
+#include "stats/histogram.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "sim/log.h"
+
+namespace svtsim {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0)
+{
+    if (bins == 0)
+        fatal("Histogram requires at least one bin");
+    if (hi <= lo)
+        fatal("Histogram requires hi > lo");
+    binWidth_ = (hi - lo) / static_cast<double>(bins);
+}
+
+void
+Histogram::add(double x)
+{
+    ++total_;
+    if (x < lo_) {
+        ++under_;
+        return;
+    }
+    if (x >= hi_) {
+        ++over_;
+        return;
+    }
+    auto i = static_cast<std::size_t>((x - lo_) / binWidth_);
+    i = std::min(i, counts_.size() - 1);
+    ++counts_[i];
+}
+
+void
+Histogram::reset()
+{
+    std::fill(counts_.begin(), counts_.end(), 0);
+    under_ = over_ = total_ = 0;
+}
+
+std::uint64_t
+Histogram::binCount(std::size_t i) const
+{
+    simAssert(i < counts_.size(), "Histogram bin index out of range");
+    return counts_[i];
+}
+
+double
+Histogram::binLow(std::size_t i) const
+{
+    return lo_ + binWidth_ * static_cast<double>(i);
+}
+
+std::string
+Histogram::render(std::size_t width) const
+{
+    std::uint64_t peak = 0;
+    for (auto c : counts_)
+        peak = std::max(peak, c);
+    std::string out;
+    char line[160];
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+        if (!counts_[i])
+            continue;
+        std::size_t bar =
+            peak ? static_cast<std::size_t>(
+                       counts_[i] * width / peak)
+                 : 0;
+        std::snprintf(line, sizeof(line), "%12.3f | %-8llu ",
+                      binLow(i),
+                      static_cast<unsigned long long>(counts_[i]));
+        out += line;
+        out.append(bar, '#');
+        out += '\n';
+    }
+    return out;
+}
+
+} // namespace svtsim

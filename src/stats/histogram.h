@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Fixed-bin histogram for distribution inspection in benches/tests.
+ */
+
+#ifndef SVTSIM_STATS_HISTOGRAM_H
+#define SVTSIM_STATS_HISTOGRAM_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace svtsim {
+
+/** Linear-binned histogram over [lo, hi) with under/overflow bins. */
+class Histogram
+{
+  public:
+    /**
+     * @param lo Lower bound of the binned range.
+     * @param hi Upper bound of the binned range.
+     * @param bins Number of equal-width bins. @pre bins > 0, hi > lo.
+     */
+    Histogram(double lo, double hi, std::size_t bins);
+
+    void add(double x);
+    void reset();
+
+    std::uint64_t count() const { return total_; }
+    std::uint64_t underflow() const { return under_; }
+    std::uint64_t overflow() const { return over_; }
+
+    /** Count in bin @p i. @pre i < bins(). */
+    std::uint64_t binCount(std::size_t i) const;
+
+    /** Lower edge of bin @p i. */
+    double binLow(std::size_t i) const;
+
+    std::size_t bins() const { return counts_.size(); }
+
+    /** Render a compact ASCII view (one line per non-empty bin). */
+    std::string render(std::size_t width = 50) const;
+
+  private:
+    double lo_;
+    double hi_;
+    double binWidth_;
+    std::vector<std::uint64_t> counts_;
+    std::uint64_t under_ = 0;
+    std::uint64_t over_ = 0;
+    std::uint64_t total_ = 0;
+};
+
+} // namespace svtsim
+
+#endif // SVTSIM_STATS_HISTOGRAM_H

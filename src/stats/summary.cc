@@ -1,0 +1,122 @@
+#include "stats/summary.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/log.h"
+
+namespace svtsim {
+
+void
+Summary::add(double x)
+{
+    ++n_;
+    if (n_ == 1) {
+        min_ = max_ = x;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+    double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+}
+
+void
+Summary::merge(const Summary &other)
+{
+    if (other.n_ == 0)
+        return;
+    if (n_ == 0) {
+        *this = other;
+        return;
+    }
+    double na = static_cast<double>(n_);
+    double nb = static_cast<double>(other.n_);
+    double delta = other.mean_ - mean_;
+    double total = na + nb;
+    mean_ += delta * nb / total;
+    m2_ += other.m2_ + delta * delta * na * nb / total;
+    n_ += other.n_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+}
+
+void
+Summary::reset()
+{
+    *this = Summary();
+}
+
+double
+Summary::variance() const
+{
+    if (n_ < 2)
+        return 0.0;
+    return m2_ / static_cast<double>(n_ - 1);
+}
+
+double
+Summary::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+double
+Summary::sem() const
+{
+    if (n_ == 0)
+        return 0.0;
+    return stddev() / std::sqrt(static_cast<double>(n_));
+}
+
+void
+Percentiles::add(double x)
+{
+    samples_.push_back(x);
+    sorted_ = false;
+}
+
+void
+Percentiles::reset()
+{
+    samples_.clear();
+    sorted_ = true;
+}
+
+void
+Percentiles::ensureSorted() const
+{
+    if (!sorted_) {
+        std::sort(samples_.begin(), samples_.end());
+        sorted_ = true;
+    }
+}
+
+double
+Percentiles::quantile(double q) const
+{
+    simAssert(!samples_.empty(), "Percentiles::quantile on empty set");
+    simAssert(q >= 0.0 && q <= 1.0, "quantile out of [0,1]");
+    ensureSorted();
+    if (samples_.size() == 1)
+        return samples_[0];
+    double pos = q * static_cast<double>(samples_.size() - 1);
+    std::size_t lo = static_cast<std::size_t>(pos);
+    std::size_t hi = std::min(lo + 1, samples_.size() - 1);
+    double frac = pos - static_cast<double>(lo);
+    return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
+}
+
+double
+Percentiles::mean() const
+{
+    if (samples_.empty())
+        return 0.0;
+    double s = 0.0;
+    for (double x : samples_)
+        s += x;
+    return s / static_cast<double>(samples_.size());
+}
+
+} // namespace svtsim

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Sample accumulators: streaming moments and exact percentiles.
+ */
+
+#ifndef SVTSIM_STATS_SUMMARY_H
+#define SVTSIM_STATS_SUMMARY_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace svtsim {
+
+/**
+ * Streaming mean/variance/min/max accumulator (Welford's algorithm,
+ * numerically stable for long runs).
+ */
+class Summary
+{
+  public:
+    void add(double x);
+
+    /** Merge another summary into this one (parallel Welford). */
+    void merge(const Summary &other);
+
+    void reset();
+
+    std::uint64_t count() const { return n_; }
+    double mean() const { return n_ ? mean_ : 0.0; }
+
+    /** Sample variance (n-1 denominator); 0 for fewer than 2 samples. */
+    double variance() const;
+
+    /** Sample standard deviation. */
+    double stddev() const;
+
+    /** Standard error of the mean. */
+    double sem() const;
+
+    double min() const { return min_; }
+    double max() const { return max_; }
+    double sum() const { return mean_ * static_cast<double>(n_); }
+
+  private:
+    std::uint64_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/**
+ * Percentile tracker that retains all samples.
+ *
+ * Workload runs produce at most a few million samples, so exact
+ * percentiles are affordable and avoid estimator error in the p99
+ * numbers that Figure 8 hinges on.
+ */
+class Percentiles
+{
+  public:
+    void add(double x);
+    void reset();
+
+    std::size_t count() const { return samples_.size(); }
+
+    /**
+     * Value at quantile @p q in [0, 1] (nearest-rank on the sorted
+     * sample set). @pre count() > 0.
+     */
+    double quantile(double q) const;
+
+    double p50() const { return quantile(0.50); }
+    double p99() const { return quantile(0.99); }
+
+    double mean() const;
+
+  private:
+    void ensureSorted() const;
+
+    mutable std::vector<double> samples_;
+    mutable bool sorted_ = true;
+};
+
+} // namespace svtsim
+
+#endif // SVTSIM_STATS_SUMMARY_H

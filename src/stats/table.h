@@ -1,0 +1,39 @@
+/**
+ * @file
+ * ASCII table rendering for benchmark output, so each bench binary can
+ * print rows in the same shape the paper reports.
+ */
+
+#ifndef SVTSIM_STATS_TABLE_H
+#define SVTSIM_STATS_TABLE_H
+
+#include <string>
+#include <vector>
+
+namespace svtsim {
+
+/** Column-aligned ASCII table with a header row. */
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> header);
+
+    /** Append a row; must have the same arity as the header. */
+    void addRow(std::vector<std::string> row);
+
+    /** Convenience: format doubles with a fixed precision. */
+    static std::string num(double v, int precision = 2);
+
+    /** Render with column padding and a separator under the header. */
+    std::string render() const;
+
+    std::size_t rows() const { return rows_.size(); }
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace svtsim
+
+#endif // SVTSIM_STATS_TABLE_H

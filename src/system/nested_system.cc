@@ -1,0 +1,30 @@
+#include "system/nested_system.h"
+
+namespace svtsim {
+
+MachineTopology
+paperTopology(VirtMode mode)
+{
+    MachineTopology topo;
+    topo.numaNodes = 2;
+    topo.coresPerNode = 8;
+    topo.threadsPerCore = (mode == VirtMode::HwSvt) ? 3 : 2;
+    return topo;
+}
+
+CostModel
+paperCosts()
+{
+    return CostModel{};
+}
+
+NestedSystem::NestedSystem(VirtMode mode, StackConfig config,
+                           std::uint64_t seed)
+{
+    config.mode = mode;
+    machine_ = std::make_unique<Machine>(paperTopology(mode),
+                                         paperCosts(), seed);
+    stack_ = std::make_unique<VirtStack>(*machine_, config);
+}
+
+} // namespace svtsim

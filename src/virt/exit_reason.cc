@@ -1,0 +1,38 @@
+#include "virt/exit_reason.h"
+
+namespace svtsim {
+
+const char *
+exitReasonName(ExitReason reason)
+{
+    switch (reason) {
+      case ExitReason::None: return "NONE";
+      case ExitReason::ExternalInterrupt: return "EXTERNAL_INTERRUPT";
+      case ExitReason::InterruptWindow: return "INTERRUPT_WINDOW";
+      case ExitReason::Cpuid: return "CPUID";
+      case ExitReason::Hlt: return "HLT";
+      case ExitReason::Vmcall: return "VMCALL";
+      case ExitReason::Vmclear: return "VMCLEAR";
+      case ExitReason::Vmlaunch: return "VMLAUNCH";
+      case ExitReason::Vmptrld: return "VMPTRLD";
+      case ExitReason::Vmread: return "VMREAD";
+      case ExitReason::Vmresume: return "VMRESUME";
+      case ExitReason::Vmwrite: return "VMWRITE";
+      case ExitReason::Vmxoff: return "VMXOFF";
+      case ExitReason::Vmxon: return "VMXON";
+      case ExitReason::CrAccess: return "CR_ACCESS";
+      case ExitReason::IoInstruction: return "IO_INSTRUCTION";
+      case ExitReason::Rdmsr: return "MSR_READ";
+      case ExitReason::Wrmsr: return "MSR_WRITE";
+      case ExitReason::EptViolation: return "EPT_VIOLATION";
+      case ExitReason::EptMisconfig: return "EPT_MISCONFIG";
+      case ExitReason::PreemptionTimer: return "PREEMPTION_TIMER";
+      case ExitReason::Invept: return "INVEPT";
+      case ExitReason::Pause: return "PAUSE";
+      case ExitReason::SvtBlocked: return "SVT_BLOCKED";
+      case ExitReason::NumReasons: break;
+    }
+    return "UNKNOWN";
+}
+
+} // namespace svtsim

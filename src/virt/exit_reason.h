@@ -1,0 +1,71 @@
+/**
+ * @file
+ * VM exit reasons and exit information for the modeled virtualization
+ * hardware (a subset of Intel VMX exit reasons, plus the SVT_BLOCKED
+ * pseudo-trap used by the SW SVt prototype, Section 5.3).
+ */
+
+#ifndef SVTSIM_VIRT_EXIT_REASON_H
+#define SVTSIM_VIRT_EXIT_REASON_H
+
+#include <cstdint>
+
+namespace svtsim {
+
+/** Why a VM exited to its hypervisor. */
+enum class ExitReason : std::uint16_t
+{
+    None = 0,
+    ExternalInterrupt,
+    InterruptWindow,
+    Cpuid,
+    Hlt,
+    Vmcall,
+    Vmclear,
+    Vmlaunch,
+    Vmptrld,
+    Vmread,
+    Vmresume,
+    Vmwrite,
+    Vmxoff,
+    Vmxon,
+    CrAccess,
+    IoInstruction,
+    Rdmsr,
+    Wrmsr,
+    EptViolation,
+    EptMisconfig,
+    PreemptionTimer,
+    Invept,
+    Pause,
+    /** SW SVt pseudo-trap: L0 tells the L1 vCPU thread it is blocked
+     *  waiting on the SVt-thread so it must drain interrupts
+     *  (Section 5.3). Not a hardware exit reason. */
+    SvtBlocked,
+    NumReasons,
+};
+
+/** Human-readable exit reason name (for profiles and counters). */
+const char *exitReasonName(ExitReason reason);
+
+/** Exit information the hardware deposits in the VMCS on a VM exit. */
+struct ExitInfo
+{
+    ExitReason reason = ExitReason::None;
+    /** Exit qualification (meaning depends on the reason). */
+    std::uint64_t qualification = 0;
+    /** Faulting guest-physical address (EPT exits, MMIO). */
+    std::uint64_t guestPhysAddr = 0;
+    /** Length of the exiting instruction (to advance RIP). */
+    std::uint64_t instrLength = 0;
+    /** Interrupt vector (external-interrupt exits). */
+    std::uint8_t vector = 0;
+    /** Accessed VMCS field (vmread/vmwrite exits). */
+    std::uint64_t field = 0;
+    /** Value operand (vmwrite exits, MSR writes). */
+    std::uint64_t value = 0;
+};
+
+} // namespace svtsim
+
+#endif // SVTSIM_VIRT_EXIT_REASON_H

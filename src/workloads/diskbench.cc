@@ -1,0 +1,122 @@
+#include "workloads/diskbench.h"
+
+#include <unordered_map>
+
+#include "workloads/guest_os.h"
+
+namespace svtsim {
+
+namespace {
+
+/** 1 GiB test file, in 512 B sectors. */
+constexpr std::uint64_t testSectors = (1ULL << 30) / 512;
+
+} // namespace
+
+IoPing::IoPing(VirtStack &stack, VirtioBlkStack &blk)
+    : stack_(stack), blk_(blk), rng_(0x10)
+{
+}
+
+IoPingResult
+IoPing::run(std::uint32_t bytes, bool write, int requests)
+{
+    Machine &machine = stack_.machine();
+    GuestApi &api = stack_.api();
+
+    std::uint64_t done_id = 0;
+    blk_.setCompletionHandler(
+        [&](std::uint64_t id) { done_id = id; });
+
+    Percentiles lat;
+    int total = requests + 1; // one warm-up
+    for (int i = 0; i < total; ++i) {
+        Ticks t0 = machine.now();
+        // Guest syscall + filesystem path.
+        api.compute(machine.costs().guestBlockSyscall);
+        std::uint64_t id = nextId_++;
+        blk_.submit(id, rng_.below(testSectors), bytes, write);
+        GuestOs::idleWait(api, [&] { return done_id == id; });
+        if (write) {
+            // O_SYNC: a flush request follows the data.
+            std::uint64_t flush_id = nextId_++;
+            blk_.submit(flush_id, 0, 0, true);
+            GuestOs::idleWait(api,
+                              [&] { return done_id == flush_id; });
+        }
+        if (i > 0)
+            lat.add(toUsec(machine.now() - t0));
+    }
+
+    IoPingResult r;
+    r.meanUsec = lat.mean();
+    r.p99Usec = lat.p99();
+    r.requests = lat.count();
+    return r;
+}
+
+Fio::Fio(VirtStack &stack, VirtioBlkStack &blk)
+    : stack_(stack), blk_(blk), rng_(0x11)
+{
+}
+
+FioResult
+Fio::run(std::uint32_t bytes, bool write, int iodepth, Ticks duration)
+{
+    Machine &machine = stack_.machine();
+    GuestApi &api = stack_.api();
+
+    std::uint64_t completed = 0;
+    std::unordered_map<std::uint64_t, Ticks> started;
+    Summary lat;
+    blk_.setCompletionHandler([&](std::uint64_t id) {
+        // Only count requests of this run (completions of a previous
+        // run's stragglers may still arrive).
+        auto it = started.find(id);
+        if (it == started.end())
+            return;
+        lat.add(toUsec(machine.now() - it->second));
+        started.erase(it);
+        ++completed;
+    });
+
+    auto submit_one = [&] {
+        api.compute(machine.costs().guestBlockSyscall);
+        std::uint64_t id = nextId_++;
+        started[id] = machine.now();
+        blk_.submit(id, rng_.below(testSectors), bytes, write);
+    };
+
+    Ticks t0 = machine.now();
+    Ticks end = t0 + duration;
+    std::uint64_t submitted = 0;
+    for (int i = 0; i < iodepth; ++i) {
+        submit_one();
+        ++submitted;
+    }
+    while (machine.now() < end) {
+        std::uint64_t before = completed;
+        GuestOs::idleWait(api, [&] {
+            return completed > before || machine.now() >= end;
+        });
+        while (submitted - completed <
+               static_cast<std::uint64_t>(iodepth) &&
+               machine.now() < end) {
+            submit_one();
+            ++submitted;
+        }
+    }
+
+    // Drain the in-flight tail so the next run starts clean.
+    GuestOs::idleWait(api, [&] { return started.empty(); });
+
+    FioResult r;
+    r.operations = completed;
+    r.meanLatencyUsec = lat.mean();
+    double kb = static_cast<double>(completed) *
+                static_cast<double>(bytes) / 1024.0;
+    r.kbPerSec = kb / toSec(machine.now() - t0);
+    return r;
+}
+
+} // namespace svtsim

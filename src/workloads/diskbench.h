@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Disk benchmarks of Section 6.2:
+ *  - ioping: 512 B random read/write latency (synchronous, O_SYNC
+ *    writes flush);
+ *  - fio: 4 KB random read/write throughput at a small iodepth.
+ */
+
+#ifndef SVTSIM_WORKLOADS_DISKBENCH_H
+#define SVTSIM_WORKLOADS_DISKBENCH_H
+
+#include "hv/virt_stack.h"
+#include "io/virtio_blk.h"
+#include "sim/random.h"
+#include "stats/summary.h"
+
+namespace svtsim {
+
+/** Result of an ioping run. */
+struct IoPingResult
+{
+    double meanUsec = 0;
+    double p99Usec = 0;
+    std::uint64_t requests = 0;
+};
+
+/** Result of a fio run. */
+struct FioResult
+{
+    double kbPerSec = 0;
+    double meanLatencyUsec = 0;
+    std::uint64_t operations = 0;
+};
+
+/** ioping-style synchronous random access latency probe. */
+class IoPing
+{
+  public:
+    IoPing(VirtStack &stack, VirtioBlkStack &blk);
+
+    /**
+     * @param bytes Request size (the paper uses 512 B).
+     * @param write Random writes instead of reads; writes are synced
+     *        with a flush request, like ioping's O_SYNC behaviour.
+     * @param requests Number of measured requests.
+     */
+    IoPingResult run(std::uint32_t bytes, bool write, int requests);
+
+  private:
+    VirtStack &stack_;
+    VirtioBlkStack &blk_;
+    Rng rng_;
+    std::uint64_t nextId_ = 1;
+};
+
+/** fio-style fixed-iodepth random access throughput probe. */
+class Fio
+{
+  public:
+    Fio(VirtStack &stack, VirtioBlkStack &blk);
+
+    /**
+     * @param bytes Block size (the paper uses 4 KB).
+     * @param write Random writes instead of reads.
+     * @param iodepth Concurrent requests kept in flight.
+     * @param duration Measured run length.
+     */
+    FioResult run(std::uint32_t bytes, bool write, int iodepth,
+                  Ticks duration);
+
+  private:
+    VirtStack &stack_;
+    VirtioBlkStack &blk_;
+    Rng rng_;
+    std::uint64_t nextId_ = 1000000;
+};
+
+} // namespace svtsim
+
+#endif // SVTSIM_WORKLOADS_DISKBENCH_H

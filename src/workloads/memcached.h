@@ -1,0 +1,102 @@
+/**
+ * @file
+ * memcached + mutilate (Section 6.3.1): a key-value store in the
+ * nested guest serving Facebook's ETC workload from an open-loop
+ * client on the peer machine; latency measured at the client against
+ * a 500 us 99th-percentile SLA.
+ */
+
+#ifndef SVTSIM_WORKLOADS_MEMCACHED_H
+#define SVTSIM_WORKLOADS_MEMCACHED_H
+
+#include <deque>
+
+#include "hv/virt_stack.h"
+#include "io/net_fabric.h"
+#include "io/virtio_net.h"
+#include "sim/random.h"
+#include "stats/summary.h"
+
+namespace svtsim {
+
+/** Facebook ETC request distributions (Atikoglu et al. 2012). */
+struct EtcWorkload
+{
+    /** Fraction of GETs (ETC is read-dominated). */
+    double getRatio = 0.97;
+    /** Value sizes: generalized Pareto (bytes). */
+    double valueLocation = 0.0;
+    double valueScale = 214.48;
+    double valueShape = 0.348;
+    /** Cap for the value-size tail. */
+    std::uint32_t valueCap = 8192;
+    /** Key sizes: roughly 16-40 bytes. */
+    std::uint32_t keyMin = 16;
+    std::uint32_t keyMax = 40;
+
+    std::uint32_t sampleValueSize(Rng &rng) const;
+    std::uint32_t sampleKeySize(Rng &rng) const;
+    bool isGet(Rng &rng) const { return rng.chance(getRatio); }
+};
+
+/** One measured load point of the latency-vs-throughput curve. */
+struct MemcachedPoint
+{
+    double offeredQps = 0;
+    double achievedQps = 0;
+    double avgUsec = 0;
+    double p99Usec = 0;
+    std::uint64_t completed = 0;
+};
+
+/**
+ * The memcached server (at the stack's top level) plus the mutilate
+ * open-loop client on the bare-metal peer.
+ */
+class MemcachedBench
+{
+  public:
+    /**
+     * @param l1_housekeeping_rate_hz Background rate of L1-kernel
+     *        housekeeping (scheduler ticks, RCU) interfering with the
+     *        serving vCPU (0 disables).
+     * @param l1_housekeeping_cost Cost of each event.
+     * @param l1_housekeeping_per_request Load-proportional L1 work
+     *        (vhost bookkeeping, irqfd signalling on the paired L1
+     *        vCPU) in events per request. Serviced serially in the
+     *        baseline; overlapped by the SVt-thread in SW SVt.
+     */
+    MemcachedBench(VirtStack &stack, VirtioNetStack &net,
+                   NetFabric &fabric, std::uint64_t seed = 42,
+                   double l1_housekeeping_rate_hz = 1000.0,
+                   Ticks l1_housekeeping_cost = usec(14.5),
+                   double l1_housekeeping_per_request = 0.9);
+
+    /** Run one open-loop load point (Poisson arrivals at @p qps). */
+    MemcachedPoint runLoad(double qps, Ticks duration);
+
+  private:
+    struct Request
+    {
+        std::uint64_t id;
+        bool get;
+        std::uint32_t valueBytes;
+    };
+
+    void scheduleHousekeeping(Ticks end);
+
+    VirtStack &stack_;
+    VirtioNetStack &net_;
+    NetFabric &fabric_;
+    Rng rng_;
+    EtcWorkload etc_;
+    double housekeepingRate_;
+    Ticks housekeepingCost_;
+    double housekeepingPerRequest_;
+    std::deque<Request> inbox_;
+    std::uint64_t nextId_ = 1;
+};
+
+} // namespace svtsim
+
+#endif // SVTSIM_WORKLOADS_MEMCACHED_H

@@ -1,0 +1,28 @@
+#include "workloads/microbench.h"
+
+namespace svtsim {
+
+MicrobenchResult
+CpuidMicrobench::run(Machine &machine, GuestApi &api, int reg_ops,
+                     ConfidenceRunner runner)
+{
+    // Warm up: first-touch faults and lazy state loads.
+    for (int i = 0; i < 4; ++i)
+        api.cpuid(1);
+
+    auto result = runner.run([&]() -> double {
+        Ticks t0 = machine.now();
+        api.compute(machine.costs().regOp * reg_ops);
+        api.cpuid(1);
+        return toUsec(machine.now() - t0);
+    });
+
+    MicrobenchResult r;
+    r.meanUsec = result.mean;
+    r.stddevUsec = result.stddev;
+    r.samples = result.accepted;
+    r.converged = result.converged;
+    return r;
+}
+
+} // namespace svtsim

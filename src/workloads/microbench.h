@@ -1,0 +1,41 @@
+/**
+ * @file
+ * The Section 6.1 micro-benchmark: a loop with the operation under
+ * scrutiny surrounded by dependent register increments simulating a
+ * variable workload, repeated to the paper's confidence criterion.
+ */
+
+#ifndef SVTSIM_WORKLOADS_MICROBENCH_H
+#define SVTSIM_WORKLOADS_MICROBENCH_H
+
+#include "arch/machine.h"
+#include "hv/guest_api.h"
+#include "stats/confidence.h"
+
+namespace svtsim {
+
+/** Result of a micro-benchmark run. */
+struct MicrobenchResult
+{
+    double meanUsec = 0;
+    double stddevUsec = 0;
+    std::uint64_t samples = 0;
+    bool converged = false;
+};
+
+/** cpuid-latency micro-benchmark. */
+class CpuidMicrobench
+{
+  public:
+    /**
+     * Measure the latency of one cpuid with @p reg_ops dependent
+     * register increments of surrounding workload.
+     */
+    static MicrobenchResult run(Machine &machine, GuestApi &api,
+                                int reg_ops = 0,
+                                ConfidenceRunner runner = {});
+};
+
+} // namespace svtsim
+
+#endif // SVTSIM_WORKLOADS_MICROBENCH_H

@@ -1,0 +1,110 @@
+#include "workloads/netperf.h"
+
+#include "sim/log.h"
+#include "workloads/guest_os.h"
+
+namespace svtsim {
+
+Netperf::Netperf(VirtStack &stack, VirtioNetStack &net,
+                 NetFabric &fabric)
+    : stack_(stack), net_(net), fabric_(fabric)
+{
+}
+
+NetperfRrResult
+Netperf::runRr(std::uint32_t req_bytes, std::uint32_t resp_bytes,
+               int transactions)
+{
+    Machine &machine = stack_.machine();
+    GuestApi &api = stack_.api();
+
+    // Peer: netserver echoes a response after its turnaround time.
+    fabric_.setPeerHandler([this, resp_bytes,
+                            &machine](NetPacket pkt) {
+        machine.events().scheduleIn(
+            machine.costs().remotePeerTurnaround,
+            [this, pkt, resp_bytes] {
+                fabric_.sendToLocal(
+                    NetPacket{pkt.id, resp_bytes, pkt.payload});
+            });
+    });
+
+    std::uint64_t received = 0;
+    net_.setRxHandler([&](NetPacket) { ++received; });
+
+    Percentiles lat;
+    // One warm-up transaction outside the measurement.
+    int total = transactions + 1;
+    for (int i = 0; i < total; ++i) {
+        std::uint64_t want = received + 1;
+        Ticks t0 = machine.now();
+        net_.send(req_bytes, static_cast<std::uint64_t>(i));
+        GuestOs::idleWait(api, [&] { return received >= want; });
+        if (i > 0)
+            lat.add(toUsec(machine.now() - t0));
+    }
+
+    NetperfRrResult r;
+    r.meanUsec = lat.mean();
+    r.p99Usec = lat.p99();
+    r.transactions = lat.count();
+    return r;
+}
+
+NetperfStreamResult
+Netperf::runStream(std::uint32_t seg_bytes, Ticks duration, int window,
+                   int ack_every)
+{
+    Machine &machine = stack_.machine();
+    GuestApi &api = stack_.api();
+    if (window < ack_every)
+        fatal("Netperf stream window must cover the ack interval");
+
+    // Peer: count segments, send a cumulative ACK every ack_every
+    // segments (delayed ack; the NIC's interrupt moderation batches
+    // at a similar scale).
+    std::uint64_t peer_rxed = 0;
+    fabric_.setPeerHandler([this, &peer_rxed, ack_every,
+                            &machine](NetPacket) {
+        ++peer_rxed;
+        if (peer_rxed % static_cast<std::uint64_t>(ack_every) == 0) {
+            std::uint64_t acked = peer_rxed;
+            machine.events().scheduleIn(usec(2), [this, acked] {
+                fabric_.sendToLocal(NetPacket{acked, 60, acked});
+            });
+        }
+    });
+
+    std::uint64_t acked = 0;
+    net_.setRxHandler([&](NetPacket pkt) {
+        // Cumulative acknowledgement.
+        if (pkt.payload > acked)
+            acked = pkt.payload;
+    });
+
+    Ticks end = machine.now() + duration;
+    std::uint64_t sent = 0;
+    while (machine.now() < end) {
+        if (sent - acked <
+            static_cast<std::uint64_t>(window)) {
+            net_.send(seg_bytes, sent);
+            ++sent;
+        } else {
+            std::uint64_t limit = sent;
+            GuestOs::idleWait(api, [&] {
+                return machine.now() >= end ||
+                       limit - acked <
+                           static_cast<std::uint64_t>(window);
+            });
+        }
+    }
+
+    NetperfStreamResult r;
+    r.segments = acked;
+    double bits = static_cast<double>(acked) *
+                  static_cast<double>(seg_bytes) * 8.0;
+    r.mbps = bits / toSec(duration) / 1e6;
+    return r;
+}
+
+} // namespace svtsim

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * netperf-style network benchmarks (Section 6.2):
+ *  - TCP_RR: round-trip time of 1-byte transactions;
+ *  - TCP_STREAM: throughput of 16 KB segments.
+ * The peer is a bare-metal machine of the same configuration on the
+ * other side of the 10 GbE link (Table 4).
+ */
+
+#ifndef SVTSIM_WORKLOADS_NETPERF_H
+#define SVTSIM_WORKLOADS_NETPERF_H
+
+#include "hv/virt_stack.h"
+#include "io/net_fabric.h"
+#include "io/virtio_net.h"
+#include "stats/summary.h"
+
+namespace svtsim {
+
+/** Result of a request/response (TCP_RR) run. */
+struct NetperfRrResult
+{
+    double meanUsec = 0;
+    double p99Usec = 0;
+    std::uint64_t transactions = 0;
+};
+
+/** Result of a bulk-transfer (TCP_STREAM) run. */
+struct NetperfStreamResult
+{
+    double mbps = 0;
+    std::uint64_t segments = 0;
+};
+
+/**
+ * The netperf client running in the guest, plus the peer model.
+ */
+class Netperf
+{
+  public:
+    Netperf(VirtStack &stack, VirtioNetStack &net, NetFabric &fabric);
+
+    /**
+     * TCP_RR: @p transactions request/response rounds of
+     * @p req_bytes / @p resp_bytes.
+     */
+    NetperfRrResult runRr(std::uint32_t req_bytes,
+                          std::uint32_t resp_bytes, int transactions);
+
+    /**
+     * TCP_STREAM: transmit @p seg_bytes segments for @p duration with
+     * a send window of @p window segments; the peer acknowledges
+     * every @p ack_every segments (delayed-ack + NIC coalescing).
+     */
+    NetperfStreamResult runStream(std::uint32_t seg_bytes,
+                                  Ticks duration, int window = 128,
+                                  int ack_every = 16);
+
+  private:
+    VirtStack &stack_;
+    VirtioNetStack &net_;
+    NetFabric &fabric_;
+};
+
+} // namespace svtsim
+
+#endif // SVTSIM_WORKLOADS_NETPERF_H

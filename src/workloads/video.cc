@@ -1,0 +1,115 @@
+#include "workloads/video.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "arch/regs.h"
+#include "workloads/guest_os.h"
+
+namespace svtsim {
+
+VideoPlayback::VideoPlayback(VirtStack &stack, VirtioBlkStack &blk,
+                             VideoProfile profile, std::uint64_t seed)
+    : stack_(stack), blk_(blk), profile_(profile), rng_(seed)
+{
+}
+
+void
+VideoPlayback::scheduleHousekeeping(Ticks end)
+{
+    if (profile_.housekeepingRateHz <= 0)
+        return;
+    Machine &m = stack_.machine();
+    Ticks gap = static_cast<Ticks>(
+        rng_.exponential(1e12 / profile_.housekeepingRateHz));
+    Ticks when = m.now() + std::max<Ticks>(gap, 1);
+    if (when >= end)
+        return;
+    m.events().schedule(when, [this, end] {
+        stack_.postL1Housekeeping(profile_.housekeepingCost);
+        scheduleHousekeeping(end);
+    }, "l1-housekeeping");
+}
+
+VideoResult
+VideoPlayback::run(double fps, Ticks duration)
+{
+    Machine &machine = stack_.machine();
+    GuestApi &api = stack_.api();
+
+    Ticks period = static_cast<Ticks>(1e12 / fps);
+    Ticks drop_slack = static_cast<Ticks>(
+        static_cast<double>(period) * profile_.dropSlackFraction);
+    int total = static_cast<int>(toSec(duration) * fps);
+    auto bytes_per_read = static_cast<std::uint32_t>(
+        profile_.bitrateMbps * 1e6 / 8.0 / fps *
+        profile_.framesPerRead);
+
+    std::uint64_t io_done_id = 0;
+    blk_.setCompletionHandler(
+        [&](std::uint64_t id) { io_done_id = id; });
+
+    VideoResult result;
+    result.totalFrames = total;
+
+    Ticks busy = 0;
+    Ticks start = machine.now();
+    scheduleHousekeeping(start + duration);
+
+    Ticks next_deadline = machine.now() + period;
+    for (int frame = 0; frame < total; ++frame) {
+        Ticks frame_busy_start = machine.now();
+
+        // Demuxer: refill the stream buffer every few frames.
+        if (frame % profile_.framesPerRead == 0) {
+            std::uint64_t id = nextIo_++;
+            blk_.submit(id, rng_.below(1 << 20), bytes_per_read,
+                        false);
+            GuestOs::idleWait(api,
+                              [&] { return io_done_id == id; });
+        }
+
+        // Decode.
+        double median = toSec(profile_.decodeMedian);
+        double t;
+        if (rng_.chance(profile_.heavyProb)) {
+            t = rng_.logNormal(
+                std::log(median * profile_.heavyFactor),
+                profile_.heavySigma);
+        } else {
+            t = rng_.logNormal(std::log(median),
+                               profile_.decodeSigma);
+        }
+        api.compute(sec(t));
+        busy += machine.now() - frame_busy_start;
+
+        if (machine.now() > next_deadline) {
+            // Decoder overran the display deadline.
+            ++result.droppedFrames;
+        } else {
+            // Frame pacing: sleep until the display deadline. A
+            // wakeup that arrives too late (timer delivery delayed
+            // behind exit handling and L1 housekeeping) also drops
+            // the frame.
+            api.wrmsr(msr::ia32TscDeadline,
+                      static_cast<std::uint64_t>(next_deadline));
+            while (machine.now() < next_deadline)
+                api.halt();
+            api.wrmsr(msr::ia32TscDeadline, 0);
+            Ticks lateness = machine.now() - next_deadline;
+            if (lateness > drop_slack) {
+                ++result.droppedFrames;
+                ++result.lateWakeupDrops;
+            }
+        }
+        next_deadline += period;
+    }
+
+    result.busyFraction =
+        static_cast<double>(busy) /
+        static_cast<double>(machine.now() - start);
+    blk_.setCompletionHandler([](std::uint64_t) {});
+    return result;
+}
+
+} // namespace svtsim
