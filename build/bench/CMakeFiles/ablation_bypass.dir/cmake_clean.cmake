@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_bypass.dir/ablation_bypass.cc.o"
+  "CMakeFiles/ablation_bypass.dir/ablation_bypass.cc.o.d"
+  "ablation_bypass"
+  "ablation_bypass.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_bypass.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

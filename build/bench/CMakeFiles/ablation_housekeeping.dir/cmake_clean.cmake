@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_housekeeping.dir/ablation_housekeeping.cc.o"
+  "CMakeFiles/ablation_housekeeping.dir/ablation_housekeeping.cc.o.d"
+  "ablation_housekeeping"
+  "ablation_housekeeping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_housekeeping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

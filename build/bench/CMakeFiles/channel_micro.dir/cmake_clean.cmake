@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/channel_micro.dir/channel_micro.cc.o"
+  "CMakeFiles/channel_micro.dir/channel_micro.cc.o.d"
+  "channel_micro"
+  "channel_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/channel_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

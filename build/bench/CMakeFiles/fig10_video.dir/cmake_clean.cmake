@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_video.dir/fig10_video.cc.o"
+  "CMakeFiles/fig10_video.dir/fig10_video.cc.o.d"
+  "fig10_video"
+  "fig10_video.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_video.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_cpuid.dir/fig6_cpuid.cc.o"
+  "CMakeFiles/fig6_cpuid.dir/fig6_cpuid.cc.o.d"
+  "fig6_cpuid"
+  "fig6_cpuid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_cpuid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_io.dir/fig7_io.cc.o"
+  "CMakeFiles/fig7_io.dir/fig7_io.cc.o.d"
+  "fig7_io"
+  "fig7_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_memcached.dir/fig8_memcached.cc.o"
+  "CMakeFiles/fig8_memcached.dir/fig8_memcached.cc.o.d"
+  "fig8_memcached"
+  "fig8_memcached.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_memcached.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_tpcc.dir/fig9_tpcc.cc.o"
+  "CMakeFiles/fig9_tpcc.dir/fig9_tpcc.cc.o.d"
+  "fig9_tpcc"
+  "fig9_tpcc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_tpcc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

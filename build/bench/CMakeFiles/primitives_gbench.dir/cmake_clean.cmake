@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/primitives_gbench.dir/primitives_gbench.cc.o"
+  "CMakeFiles/primitives_gbench.dir/primitives_gbench.cc.o.d"
+  "primitives_gbench"
+  "primitives_gbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/primitives_gbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

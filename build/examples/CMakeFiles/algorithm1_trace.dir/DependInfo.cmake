@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/algorithm1_trace.cpp" "examples/CMakeFiles/algorithm1_trace.dir/algorithm1_trace.cpp.o" "gcc" "examples/CMakeFiles/algorithm1_trace.dir/algorithm1_trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/system/CMakeFiles/svtsim_system.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/svtsim_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/svtsim_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/hv/CMakeFiles/svtsim_hv.dir/DependInfo.cmake"
+  "/root/repo/build/src/svt/CMakeFiles/svtsim_svt.dir/DependInfo.cmake"
+  "/root/repo/build/src/virt/CMakeFiles/svtsim_virt.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/svtsim_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/svtsim_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/svtsim_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/algorithm1_trace.dir/algorithm1_trace.cpp.o"
+  "CMakeFiles/algorithm1_trace.dir/algorithm1_trace.cpp.o.d"
+  "algorithm1_trace"
+  "algorithm1_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/algorithm1_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nested_io.dir/nested_io.cpp.o"
+  "CMakeFiles/nested_io.dir/nested_io.cpp.o.d"
+  "nested_io"
+  "nested_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nested_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/svt_deadlock.dir/svt_deadlock.cpp.o"
+  "CMakeFiles/svt_deadlock.dir/svt_deadlock.cpp.o.d"
+  "svt_deadlock"
+  "svt_deadlock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/svt_deadlock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

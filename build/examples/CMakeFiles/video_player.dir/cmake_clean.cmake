@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/video_player.dir/video_player.cpp.o"
+  "CMakeFiles/video_player.dir/video_player.cpp.o.d"
+  "video_player"
+  "video_player.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/video_player.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/arch/cost_model.cc" "src/arch/CMakeFiles/svtsim_arch.dir/cost_model.cc.o" "gcc" "src/arch/CMakeFiles/svtsim_arch.dir/cost_model.cc.o.d"
+  "/root/repo/src/arch/hw_context.cc" "src/arch/CMakeFiles/svtsim_arch.dir/hw_context.cc.o" "gcc" "src/arch/CMakeFiles/svtsim_arch.dir/hw_context.cc.o.d"
+  "/root/repo/src/arch/lapic.cc" "src/arch/CMakeFiles/svtsim_arch.dir/lapic.cc.o" "gcc" "src/arch/CMakeFiles/svtsim_arch.dir/lapic.cc.o.d"
+  "/root/repo/src/arch/machine.cc" "src/arch/CMakeFiles/svtsim_arch.dir/machine.cc.o" "gcc" "src/arch/CMakeFiles/svtsim_arch.dir/machine.cc.o.d"
+  "/root/repo/src/arch/phys_reg_file.cc" "src/arch/CMakeFiles/svtsim_arch.dir/phys_reg_file.cc.o" "gcc" "src/arch/CMakeFiles/svtsim_arch.dir/phys_reg_file.cc.o.d"
+  "/root/repo/src/arch/smt_core.cc" "src/arch/CMakeFiles/svtsim_arch.dir/smt_core.cc.o" "gcc" "src/arch/CMakeFiles/svtsim_arch.dir/smt_core.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/svtsim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/svtsim_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/svtsim_arch.dir/cost_model.cc.o"
+  "CMakeFiles/svtsim_arch.dir/cost_model.cc.o.d"
+  "CMakeFiles/svtsim_arch.dir/hw_context.cc.o"
+  "CMakeFiles/svtsim_arch.dir/hw_context.cc.o.d"
+  "CMakeFiles/svtsim_arch.dir/lapic.cc.o"
+  "CMakeFiles/svtsim_arch.dir/lapic.cc.o.d"
+  "CMakeFiles/svtsim_arch.dir/machine.cc.o"
+  "CMakeFiles/svtsim_arch.dir/machine.cc.o.d"
+  "CMakeFiles/svtsim_arch.dir/phys_reg_file.cc.o"
+  "CMakeFiles/svtsim_arch.dir/phys_reg_file.cc.o.d"
+  "CMakeFiles/svtsim_arch.dir/smt_core.cc.o"
+  "CMakeFiles/svtsim_arch.dir/smt_core.cc.o.d"
+  "libsvtsim_arch.a"
+  "libsvtsim_arch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/svtsim_arch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

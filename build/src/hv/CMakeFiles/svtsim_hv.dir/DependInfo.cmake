@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hv/channel.cc" "src/hv/CMakeFiles/svtsim_hv.dir/channel.cc.o" "gcc" "src/hv/CMakeFiles/svtsim_hv.dir/channel.cc.o.d"
+  "/root/repo/src/hv/cpuid_db.cc" "src/hv/CMakeFiles/svtsim_hv.dir/cpuid_db.cc.o" "gcc" "src/hv/CMakeFiles/svtsim_hv.dir/cpuid_db.cc.o.d"
+  "/root/repo/src/hv/guest_hypervisor.cc" "src/hv/CMakeFiles/svtsim_hv.dir/guest_hypervisor.cc.o" "gcc" "src/hv/CMakeFiles/svtsim_hv.dir/guest_hypervisor.cc.o.d"
+  "/root/repo/src/hv/nested_flow.cc" "src/hv/CMakeFiles/svtsim_hv.dir/nested_flow.cc.o" "gcc" "src/hv/CMakeFiles/svtsim_hv.dir/nested_flow.cc.o.d"
+  "/root/repo/src/hv/vcpu.cc" "src/hv/CMakeFiles/svtsim_hv.dir/vcpu.cc.o" "gcc" "src/hv/CMakeFiles/svtsim_hv.dir/vcpu.cc.o.d"
+  "/root/repo/src/hv/virt_stack.cc" "src/hv/CMakeFiles/svtsim_hv.dir/virt_stack.cc.o" "gcc" "src/hv/CMakeFiles/svtsim_hv.dir/virt_stack.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/svt/CMakeFiles/svtsim_svt.dir/DependInfo.cmake"
+  "/root/repo/build/src/virt/CMakeFiles/svtsim_virt.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/svtsim_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/svtsim_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/svtsim_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/svtsim_hv.dir/channel.cc.o"
+  "CMakeFiles/svtsim_hv.dir/channel.cc.o.d"
+  "CMakeFiles/svtsim_hv.dir/cpuid_db.cc.o"
+  "CMakeFiles/svtsim_hv.dir/cpuid_db.cc.o.d"
+  "CMakeFiles/svtsim_hv.dir/guest_hypervisor.cc.o"
+  "CMakeFiles/svtsim_hv.dir/guest_hypervisor.cc.o.d"
+  "CMakeFiles/svtsim_hv.dir/nested_flow.cc.o"
+  "CMakeFiles/svtsim_hv.dir/nested_flow.cc.o.d"
+  "CMakeFiles/svtsim_hv.dir/vcpu.cc.o"
+  "CMakeFiles/svtsim_hv.dir/vcpu.cc.o.d"
+  "CMakeFiles/svtsim_hv.dir/virt_stack.cc.o"
+  "CMakeFiles/svtsim_hv.dir/virt_stack.cc.o.d"
+  "libsvtsim_hv.a"
+  "libsvtsim_hv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/svtsim_hv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

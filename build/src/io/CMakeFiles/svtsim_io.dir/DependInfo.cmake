@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/io/net_fabric.cc" "src/io/CMakeFiles/svtsim_io.dir/net_fabric.cc.o" "gcc" "src/io/CMakeFiles/svtsim_io.dir/net_fabric.cc.o.d"
+  "/root/repo/src/io/ramdisk.cc" "src/io/CMakeFiles/svtsim_io.dir/ramdisk.cc.o" "gcc" "src/io/CMakeFiles/svtsim_io.dir/ramdisk.cc.o.d"
+  "/root/repo/src/io/virtio_blk.cc" "src/io/CMakeFiles/svtsim_io.dir/virtio_blk.cc.o" "gcc" "src/io/CMakeFiles/svtsim_io.dir/virtio_blk.cc.o.d"
+  "/root/repo/src/io/virtio_net.cc" "src/io/CMakeFiles/svtsim_io.dir/virtio_net.cc.o" "gcc" "src/io/CMakeFiles/svtsim_io.dir/virtio_net.cc.o.d"
+  "/root/repo/src/io/virtqueue.cc" "src/io/CMakeFiles/svtsim_io.dir/virtqueue.cc.o" "gcc" "src/io/CMakeFiles/svtsim_io.dir/virtqueue.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hv/CMakeFiles/svtsim_hv.dir/DependInfo.cmake"
+  "/root/repo/build/src/svt/CMakeFiles/svtsim_svt.dir/DependInfo.cmake"
+  "/root/repo/build/src/virt/CMakeFiles/svtsim_virt.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/svtsim_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/svtsim_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/svtsim_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

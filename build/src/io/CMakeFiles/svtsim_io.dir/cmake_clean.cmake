@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/svtsim_io.dir/net_fabric.cc.o"
+  "CMakeFiles/svtsim_io.dir/net_fabric.cc.o.d"
+  "CMakeFiles/svtsim_io.dir/ramdisk.cc.o"
+  "CMakeFiles/svtsim_io.dir/ramdisk.cc.o.d"
+  "CMakeFiles/svtsim_io.dir/virtio_blk.cc.o"
+  "CMakeFiles/svtsim_io.dir/virtio_blk.cc.o.d"
+  "CMakeFiles/svtsim_io.dir/virtio_net.cc.o"
+  "CMakeFiles/svtsim_io.dir/virtio_net.cc.o.d"
+  "CMakeFiles/svtsim_io.dir/virtqueue.cc.o"
+  "CMakeFiles/svtsim_io.dir/virtqueue.cc.o.d"
+  "libsvtsim_io.a"
+  "libsvtsim_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/svtsim_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

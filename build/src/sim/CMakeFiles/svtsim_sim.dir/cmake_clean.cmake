@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/svtsim_sim.dir/event_queue.cc.o"
+  "CMakeFiles/svtsim_sim.dir/event_queue.cc.o.d"
+  "CMakeFiles/svtsim_sim.dir/log.cc.o"
+  "CMakeFiles/svtsim_sim.dir/log.cc.o.d"
+  "CMakeFiles/svtsim_sim.dir/random.cc.o"
+  "CMakeFiles/svtsim_sim.dir/random.cc.o.d"
+  "libsvtsim_sim.a"
+  "libsvtsim_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/svtsim_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

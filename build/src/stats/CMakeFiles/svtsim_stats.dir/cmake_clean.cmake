@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/svtsim_stats.dir/confidence.cc.o"
+  "CMakeFiles/svtsim_stats.dir/confidence.cc.o.d"
+  "CMakeFiles/svtsim_stats.dir/histogram.cc.o"
+  "CMakeFiles/svtsim_stats.dir/histogram.cc.o.d"
+  "CMakeFiles/svtsim_stats.dir/summary.cc.o"
+  "CMakeFiles/svtsim_stats.dir/summary.cc.o.d"
+  "CMakeFiles/svtsim_stats.dir/table.cc.o"
+  "CMakeFiles/svtsim_stats.dir/table.cc.o.d"
+  "libsvtsim_stats.a"
+  "libsvtsim_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/svtsim_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/svtsim_svt.dir/svt_unit.cc.o"
+  "CMakeFiles/svtsim_svt.dir/svt_unit.cc.o.d"
+  "libsvtsim_svt.a"
+  "libsvtsim_svt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/svtsim_svt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

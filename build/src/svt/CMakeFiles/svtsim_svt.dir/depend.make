@@ -1,0 +1,2 @@
+# Empty dependencies file for svtsim_svt.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/svtsim_system.dir/nested_system.cc.o"
+  "CMakeFiles/svtsim_system.dir/nested_system.cc.o.d"
+  "libsvtsim_system.a"
+  "libsvtsim_system.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/svtsim_system.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

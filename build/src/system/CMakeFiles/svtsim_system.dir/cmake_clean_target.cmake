@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsvtsim_system.a"
+)

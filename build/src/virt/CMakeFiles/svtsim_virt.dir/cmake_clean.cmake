@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/svtsim_virt.dir/ept.cc.o"
+  "CMakeFiles/svtsim_virt.dir/ept.cc.o.d"
+  "CMakeFiles/svtsim_virt.dir/exit_reason.cc.o"
+  "CMakeFiles/svtsim_virt.dir/exit_reason.cc.o.d"
+  "CMakeFiles/svtsim_virt.dir/vmcs.cc.o"
+  "CMakeFiles/svtsim_virt.dir/vmcs.cc.o.d"
+  "CMakeFiles/svtsim_virt.dir/vmx.cc.o"
+  "CMakeFiles/svtsim_virt.dir/vmx.cc.o.d"
+  "libsvtsim_virt.a"
+  "libsvtsim_virt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/svtsim_virt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/diskbench.cc" "src/workloads/CMakeFiles/svtsim_workloads.dir/diskbench.cc.o" "gcc" "src/workloads/CMakeFiles/svtsim_workloads.dir/diskbench.cc.o.d"
+  "/root/repo/src/workloads/guest_os.cc" "src/workloads/CMakeFiles/svtsim_workloads.dir/guest_os.cc.o" "gcc" "src/workloads/CMakeFiles/svtsim_workloads.dir/guest_os.cc.o.d"
+  "/root/repo/src/workloads/memcached.cc" "src/workloads/CMakeFiles/svtsim_workloads.dir/memcached.cc.o" "gcc" "src/workloads/CMakeFiles/svtsim_workloads.dir/memcached.cc.o.d"
+  "/root/repo/src/workloads/microbench.cc" "src/workloads/CMakeFiles/svtsim_workloads.dir/microbench.cc.o" "gcc" "src/workloads/CMakeFiles/svtsim_workloads.dir/microbench.cc.o.d"
+  "/root/repo/src/workloads/netperf.cc" "src/workloads/CMakeFiles/svtsim_workloads.dir/netperf.cc.o" "gcc" "src/workloads/CMakeFiles/svtsim_workloads.dir/netperf.cc.o.d"
+  "/root/repo/src/workloads/tpcc.cc" "src/workloads/CMakeFiles/svtsim_workloads.dir/tpcc.cc.o" "gcc" "src/workloads/CMakeFiles/svtsim_workloads.dir/tpcc.cc.o.d"
+  "/root/repo/src/workloads/video.cc" "src/workloads/CMakeFiles/svtsim_workloads.dir/video.cc.o" "gcc" "src/workloads/CMakeFiles/svtsim_workloads.dir/video.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/io/CMakeFiles/svtsim_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/svtsim_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/hv/CMakeFiles/svtsim_hv.dir/DependInfo.cmake"
+  "/root/repo/build/src/svt/CMakeFiles/svtsim_svt.dir/DependInfo.cmake"
+  "/root/repo/build/src/virt/CMakeFiles/svtsim_virt.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/svtsim_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/svtsim_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

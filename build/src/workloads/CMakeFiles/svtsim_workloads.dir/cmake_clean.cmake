@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/svtsim_workloads.dir/diskbench.cc.o"
+  "CMakeFiles/svtsim_workloads.dir/diskbench.cc.o.d"
+  "CMakeFiles/svtsim_workloads.dir/guest_os.cc.o"
+  "CMakeFiles/svtsim_workloads.dir/guest_os.cc.o.d"
+  "CMakeFiles/svtsim_workloads.dir/memcached.cc.o"
+  "CMakeFiles/svtsim_workloads.dir/memcached.cc.o.d"
+  "CMakeFiles/svtsim_workloads.dir/microbench.cc.o"
+  "CMakeFiles/svtsim_workloads.dir/microbench.cc.o.d"
+  "CMakeFiles/svtsim_workloads.dir/netperf.cc.o"
+  "CMakeFiles/svtsim_workloads.dir/netperf.cc.o.d"
+  "CMakeFiles/svtsim_workloads.dir/tpcc.cc.o"
+  "CMakeFiles/svtsim_workloads.dir/tpcc.cc.o.d"
+  "CMakeFiles/svtsim_workloads.dir/video.cc.o"
+  "CMakeFiles/svtsim_workloads.dir/video.cc.o.d"
+  "libsvtsim_workloads.a"
+  "libsvtsim_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/svtsim_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

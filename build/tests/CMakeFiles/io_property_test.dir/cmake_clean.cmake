@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/io_property_test.dir/io_property_test.cc.o"
+  "CMakeFiles/io_property_test.dir/io_property_test.cc.o.d"
+  "io_property_test"
+  "io_property_test.pdb"
+  "io_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/io_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

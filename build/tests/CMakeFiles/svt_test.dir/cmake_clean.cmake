@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/svt_test.dir/svt_test.cc.o"
+  "CMakeFiles/svt_test.dir/svt_test.cc.o.d"
+  "svt_test"
+  "svt_test.pdb"
+  "svt_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/svt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
