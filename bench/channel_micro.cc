@@ -12,13 +12,15 @@
 #include "hv/channel.h"
 #include "stats/table.h"
 #include "system/nested_system.h"
+#include "system/trace_session.h"
 #include "workloads/microbench.h"
 
 using namespace svtsim;
 
 int
-main()
+main(int argc, char **argv)
 {
+    std::string trace_path = parseTraceFlag(argc, argv);
     CostModel costs;
 
     // ---- raw wake latency by mechanism and placement ----------------
@@ -76,6 +78,9 @@ main()
             StackConfig cfg;
             cfg.channel = ChannelModel{m, p};
             NestedSystem sys(VirtMode::SwSvt, cfg);
+            ScopedTrace trace(sys.machine(), trace_path,
+                              std::string(waitMechanismName(m)) + "-" +
+                                  placementName(p));
             double t =
                 CpuidMicrobench::run(sys.machine(), sys.api())
                     .meanUsec;

@@ -13,6 +13,7 @@
 #include "io/virtio_blk.h"
 #include "stats/table.h"
 #include "system/nested_system.h"
+#include "system/trace_session.h"
 #include "workloads/video.h"
 
 using namespace svtsim;
@@ -20,9 +21,13 @@ using namespace svtsim;
 namespace {
 
 VideoResult
-measure(VirtMode mode, double fps)
+measure(VirtMode mode, double fps, const std::string &trace_path)
 {
     NestedSystem sys(mode);
+    ScopedTrace trace(sys.machine(), trace_path,
+                      std::string(virtModeName(mode)) + "-" +
+                          std::to_string(static_cast<int>(fps)) +
+                          "fps");
     RamDisk disk(sys.machine(), "media");
     VirtioBlkStack blk(sys.stack(), disk);
     VideoPlayback player(sys.stack(), blk);
@@ -32,8 +37,9 @@ measure(VirtMode mode, double fps)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    std::string trace_path = parseTraceFlag(argc, argv);
     const double rates[] = {24, 60, 120};
     const char *paper_base[] = {"0", "3", "40"};
     const char *paper_svt[] = {"0", "0", "26"};
@@ -41,8 +47,10 @@ main()
     Table t({"FPS", "Baseline drops", "SVt drops", "Paper base",
              "Paper SVt", "Busy (base)"});
     for (int i = 0; i < 3; ++i) {
-        VideoResult base = measure(VirtMode::Nested, rates[i]);
-        VideoResult svt = measure(VirtMode::SwSvt, rates[i]);
+        VideoResult base =
+            measure(VirtMode::Nested, rates[i], trace_path);
+        VideoResult svt =
+            measure(VirtMode::SwSvt, rates[i], trace_path);
         t.addRow({Table::num(rates[i], 0),
                   std::to_string(base.droppedFrames),
                   std::to_string(svt.droppedFrames), paper_base[i],

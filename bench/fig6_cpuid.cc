@@ -11,29 +11,33 @@
 
 #include "stats/table.h"
 #include "system/nested_system.h"
+#include "system/trace_session.h"
 #include "workloads/microbench.h"
 
 using namespace svtsim;
 
 int
-main()
+main(int argc, char **argv)
 {
     struct Bar
     {
         const char *name;
+        const char *label;
         VirtMode mode;
     };
     const Bar bars[] = {
-        {"L0", VirtMode::Native},
-        {"L1", VirtMode::Single},
-        {"L2", VirtMode::Nested},
-        {"SW SVt", VirtMode::SwSvt},
-        {"HW SVt", VirtMode::HwSvt},
+        {"L0", "l0", VirtMode::Native},
+        {"L1", "l1", VirtMode::Single},
+        {"L2", "l2", VirtMode::Nested},
+        {"SW SVt", "sw_svt", VirtMode::SwSvt},
+        {"HW SVt", "hw_svt", VirtMode::HwSvt},
     };
+    std::string trace_path = parseTraceFlag(argc, argv);
 
     double results[5] = {};
     for (int i = 0; i < 5; ++i) {
         NestedSystem sys(bars[i].mode);
+        ScopedTrace trace(sys.machine(), trace_path, bars[i].label);
         auto r = CpuidMicrobench::run(sys.machine(), sys.api());
         results[i] = r.meanUsec;
     }

@@ -24,6 +24,7 @@
 #include "io/virtio_net.h"
 #include "stats/table.h"
 #include "system/nested_system.h"
+#include "system/trace_session.h"
 #include "workloads/diskbench.h"
 #include "workloads/netperf.h"
 
@@ -42,11 +43,13 @@ struct IoNumbers
 };
 
 IoNumbers
-measure(VirtMode mode)
+measure(VirtMode mode, const std::string &trace_path)
 {
     IoNumbers n{};
     {
         NestedSystem sys(mode);
+        ScopedTrace trace(sys.machine(), trace_path,
+                          std::string(virtModeName(mode)) + "-net");
         NetFabric fabric(sys.machine(),
                          sys.machine().costs().wireLatency,
                          sys.machine().costs().linkBitsPerSec);
@@ -58,6 +61,8 @@ measure(VirtMode mode)
     }
     {
         NestedSystem sys(mode);
+        ScopedTrace trace(sys.machine(), trace_path,
+                          std::string(virtModeName(mode)) + "-disk");
         RamDisk disk(sys.machine(), "ramdisk");
         VirtioBlkStack blk(sys.stack(), disk);
         IoPing ioping(sys.stack(), blk);
@@ -73,11 +78,12 @@ measure(VirtMode mode)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
-    IoNumbers base = measure(VirtMode::Nested);
-    IoNumbers sw = measure(VirtMode::SwSvt);
-    IoNumbers hw = measure(VirtMode::HwSvt);
+    std::string trace_path = parseTraceFlag(argc, argv);
+    IoNumbers base = measure(VirtMode::Nested, trace_path);
+    IoNumbers sw = measure(VirtMode::SwSvt, trace_path);
+    IoNumbers hw = measure(VirtMode::HwSvt, trace_path);
 
     Table t({"Benchmark", "Baseline", "SW SVt", "HW SVt",
              "Paper base", "Paper SW", "Paper HW"});

@@ -14,6 +14,7 @@
 #include "io/virtio_net.h"
 #include "stats/table.h"
 #include "system/nested_system.h"
+#include "system/trace_session.h"
 #include "workloads/memcached.h"
 
 using namespace svtsim;
@@ -41,11 +42,16 @@ struct Curve
 };
 
 Curve
-sweep(VirtMode mode, const std::vector<double> &loads)
+sweep(VirtMode mode, const std::vector<double> &loads,
+      const std::string &trace_path)
 {
     Curve curve;
     for (double qps : loads) {
         NestedSystem sys(mode);
+        ScopedTrace trace(
+            sys.machine(), trace_path,
+            std::string(virtModeName(mode)) + "-" +
+                std::to_string(static_cast<int>(qps)) + "qps");
         NetFabric fabric(sys.machine(),
                          sys.machine().costs().wireLatency,
                          sys.machine().costs().linkBitsPerSec);
@@ -60,14 +66,15 @@ sweep(VirtMode mode, const std::vector<double> &loads)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    std::string trace_path = parseTraceFlag(argc, argv);
     std::vector<double> loads;
     for (double q = 2000; q <= 26000; q += 1500)
         loads.push_back(q);
 
-    Curve base = sweep(VirtMode::Nested, loads);
-    Curve svt = sweep(VirtMode::SwSvt, loads);
+    Curve base = sweep(VirtMode::Nested, loads, trace_path);
+    Curve svt = sweep(VirtMode::SwSvt, loads, trace_path);
 
     Table t({"Offered (qps)", "base avg (us)", "base p99 (us)",
              "SVt avg (us)", "SVt p99 (us)"});

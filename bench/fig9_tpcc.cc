@@ -13,6 +13,7 @@
 #include "io/virtio_net.h"
 #include "stats/table.h"
 #include "system/nested_system.h"
+#include "system/trace_session.h"
 #include "workloads/tpcc.h"
 
 using namespace svtsim;
@@ -20,9 +21,10 @@ using namespace svtsim;
 namespace {
 
 TpccResult
-measure(VirtMode mode)
+measure(VirtMode mode, const std::string &trace_path)
 {
     NestedSystem sys(mode);
+    ScopedTrace trace(sys.machine(), trace_path, virtModeName(mode));
     NetFabric fabric(sys.machine(), sys.machine().costs().wireLatency,
                      sys.machine().costs().linkBitsPerSec);
     VirtioNetStack net(sys.stack(), fabric);
@@ -35,11 +37,12 @@ measure(VirtMode mode)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
-    TpccResult base = measure(VirtMode::Nested);
-    TpccResult sw = measure(VirtMode::SwSvt);
-    TpccResult hw = measure(VirtMode::HwSvt);
+    std::string trace_path = parseTraceFlag(argc, argv);
+    TpccResult base = measure(VirtMode::Nested, trace_path);
+    TpccResult sw = measure(VirtMode::SwSvt, trace_path);
+    TpccResult hw = measure(VirtMode::HwSvt, trace_path);
 
     Table t({"System", "Ktpm", "Mean txn (ms)", "Speedup", "Paper"});
     t.addRow({"Baseline", Table::num(base.tpm / 1000.0, 2),

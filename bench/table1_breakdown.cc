@@ -14,11 +14,12 @@
 #include "stats/confidence.h"
 #include "stats/table.h"
 #include "system/nested_system.h"
+#include "system/trace_session.h"
 
 using namespace svtsim;
 
 int
-main()
+main(int argc, char **argv)
 {
     NestedSystem sys(VirtMode::Nested);
     GuestApi &api = sys.api();
@@ -29,6 +30,7 @@ main()
     for (int i = 0; i < 8; ++i)
         api.cpuid(1);
     machine.resetAttribution();
+    ScopedTrace trace(machine, parseTraceFlag(argc, argv));
 
     ConfidenceRunner runner;
     auto result = runner.run([&]() -> double {

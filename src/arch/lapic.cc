@@ -1,6 +1,7 @@
 #include "arch/lapic.h"
 
 #include "sim/log.h"
+#include "sim/trace.h"
 
 namespace svtsim {
 
@@ -20,6 +21,8 @@ Lapic::raise(std::uint8_t vector)
 {
     pending_.set(vector);
     ++raised_;
+    if (TraceSink *sink = eq_.traceSink())
+        sink->instant(TraceCategory::Irq, "irq.raise", vector);
 }
 
 void
@@ -49,8 +52,11 @@ int
 Lapic::ack()
 {
     int v = highestPending();
-    if (v >= 0)
+    if (v >= 0) {
         pending_.reset(static_cast<std::size_t>(v));
+        if (TraceSink *sink = eq_.traceSink())
+            sink->instant(TraceCategory::Irq, "irq.ack", v);
+    }
     return v;
 }
 

@@ -1,8 +1,30 @@
 #include "arch/machine.h"
 
+#include <limits>
+
 #include "sim/log.h"
+#include "sim/trace.h"
 
 namespace svtsim {
+
+namespace {
+
+/** Sentinel for "no trace span was opened for this scope". */
+constexpr std::size_t noTraceSpan =
+    std::numeric_limits<std::size_t>::max();
+
+/** Attribution scope names map onto trace categories by prefix. */
+TraceCategory
+scopeCategory(const std::string &name)
+{
+    if (name.rfind("stage.", 0) == 0)
+        return TraceCategory::Stage;
+    if (name.rfind("exit.", 0) == 0)
+        return TraceCategory::Exit;
+    return TraceCategory::Sim;
+}
+
+} // namespace
 
 Machine::Machine(MachineTopology topo, CostModel costs,
                  std::uint64_t seed)
@@ -38,12 +60,16 @@ Machine::consume(Ticks t)
         return;
     for (const auto &scope : scopeStack_)
         buckets_[scope] += t;
+    if (TraceSink *sink = eq_.traceSink())
+        sink->attribute(t);
     eq_.advanceBy(t);
 }
 
 void
 Machine::idleUntil(Ticks when)
 {
+    if (TraceSink *sink = eq_.traceSink())
+        sink->attributeIdle(when > now() ? when - now() : 0);
     eq_.advanceTo(when);
 }
 
@@ -51,6 +77,10 @@ void
 Machine::pushScope(const std::string &name)
 {
     scopeStack_.push_back(name);
+    TraceSink *sink = eq_.traceSink();
+    scopeSpans_.push_back(sink && sink->enabled()
+                              ? sink->beginSpan(scopeCategory(name), name)
+                              : noTraceSpan);
 }
 
 void
@@ -58,6 +88,11 @@ Machine::popScope()
 {
     if (scopeStack_.empty())
         panic("Machine::popScope with no open scope");
+    if (scopeSpans_.back() != noTraceSpan) {
+        if (TraceSink *sink = eq_.traceSink())
+            sink->endSpan(scopeSpans_.back());
+    }
+    scopeSpans_.pop_back();
     scopeStack_.pop_back();
 }
 

@@ -51,6 +51,14 @@ class Machine
     EventQueue &events() { return eq_; }
     Rng &rng() { return rng_; }
 
+    /**
+     * Attach/detach a trace sink (not owned). While attached and
+     * enabled, consume()/idleUntil() feed the sink's time-conservation
+     * accounting and pushScope()/popScope() mirror into trace spans.
+     */
+    void setTraceSink(TraceSink *sink) { eq_.setTraceSink(sink); }
+    TraceSink *traceSink() const { return eq_.traceSink(); }
+
     SmtCore &core(int i);
     int numCores() const { return static_cast<int>(cores_.size()); }
 
@@ -100,6 +108,9 @@ class Machine
     Rng rng_;
     std::vector<std::unique_ptr<SmtCore>> cores_;
     std::vector<std::string> scopeStack_;
+    /** Trace-span handle per open scope; noTraceSpan when the sink was
+     *  absent/disabled at pushScope() time. */
+    std::vector<std::size_t> scopeSpans_;
     std::map<std::string, Ticks> buckets_;
     std::map<std::string, std::uint64_t> counters_;
 };

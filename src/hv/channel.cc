@@ -1,6 +1,7 @@
 #include "hv/channel.h"
 
 #include "sim/log.h"
+#include "sim/trace.h"
 
 namespace svtsim {
 
@@ -100,10 +101,13 @@ CommandRing::post(const ChannelMessage &msg)
     if (ring_.size() >= capacity_)
         panic("CommandRing overflow (capacity %zu)", capacity_);
     const CostModel &costs = machine_.costs();
-    // Descriptor store plus the register/trap-info payload copy
-    // (numGprs GPRs + rip/rflags + the exit info block).
+    SVTSIM_TRACE_INSTANT(machine_.traceSink(), TraceCategory::Channel,
+                         msg.command == SwSvtCommand::VmTrap
+                             ? "ring.post.vm_trap"
+                             : "ring.post.vm_resume");
+    // Descriptor store plus the register/trap-info payload copy.
     machine_.consume(costs.ringPost +
-                     costs.ringPayloadValue * (numGprs + 2 + 7));
+                     costs.ringPayloadValue * ringPayloadValues);
     ring_.push_back(msg);
     ++posted_;
 }
@@ -113,8 +117,12 @@ CommandRing::pop()
 {
     if (ring_.empty())
         panic("CommandRing::pop on empty ring");
-    // Reading the payload out of the shared lines.
-    machine_.consume(machine_.costs().ringPayloadValue * 4);
+    // Reading the full payload out of the shared lines; symmetric
+    // with the copy post() charged on the producer side.
+    machine_.consume(machine_.costs().ringPayloadValue *
+                     ringPayloadValues);
+    SVTSIM_TRACE_INSTANT(machine_.traceSink(), TraceCategory::Channel,
+                         "ring.pop");
     ChannelMessage msg = ring_.front();
     ring_.pop_front();
     return msg;

@@ -79,6 +79,16 @@ enum class SwSvtCommand : std::uint8_t
     VmResume, ///< CMD_VM_RESUME: SVt-thread -> L0
 };
 
+/**
+ * Number of ringPayloadValue-sized values in one ChannelMessage:
+ * numGprs GPRs + rip/rflags + the exit info block (reason, exit
+ * qualification, guest-physical/linear addresses, instruction
+ * length/info, interruption info). Producer and consumer must charge
+ * the same amount — the payload crosses the shared lines once in each
+ * direction regardless of which side touches it.
+ */
+constexpr int ringPayloadValues = numGprs + 2 + 7;
+
 /** One command descriptor, including the register payload. */
 struct ChannelMessage
 {

@@ -390,13 +390,16 @@ VirtStack::reflectSwSvt(const ExitInfo &info)
         ringToSvt_->post(msg);
     }
     serviceSvtThreadPreemption();
+    ChannelMessage msg;
     {
-        // The SVt-thread observes the command (monitor/mwait wake).
+        // The SVt-thread observes the command (monitor/mwait wake)
+        // and reads the payload; the ring pop consumes time and must
+        // stay inside the channel stage or its ticks go unattributed.
         TimeScope ch(machine_, "stage.channel");
         machine_.consume(config_.channel.waiterSetup(c) +
                          config_.channel.wakeLatency(c));
+        msg = ringToSvt_->pop();
     }
-    ChannelMessage msg = ringToSvt_->pop();
     for (int i = 0; i < numGprs; ++i) {
         vcpuL2InL1_->setGpr(static_cast<Gpr>(i),
                             msg.gprs[static_cast<std::size_t>(i)]);
@@ -421,13 +424,14 @@ VirtStack::reflectSwSvt(const ExitInfo &info)
                 vcpuL2InL1_->gpr(static_cast<Gpr>(i));
         ringFromSvt_->post(resp);
     }
+    ChannelMessage resp;
     {
-        // L0 observes the response.
+        // L0 observes the response and reads the payload back.
         TimeScope ch(machine_, "stage.channel");
         machine_.consume(config_.channel.waiterSetup(c) +
                          config_.channel.wakeLatency(c));
+        resp = ringFromSvt_->pop();
     }
-    ChannelMessage resp = ringFromSvt_->pop();
     for (int i = 0; i < numGprs; ++i) {
         vcpuL2InL0_->setGpr(static_cast<Gpr>(i),
                             resp.gprs[static_cast<std::size_t>(i)]);

@@ -1,6 +1,7 @@
 #include "io/virtqueue.h"
 
 #include "sim/log.h"
+#include "sim/trace.h"
 
 namespace svtsim {
 
@@ -23,6 +24,8 @@ Virtqueue::post(const VirtioBuffer &buf)
     if (!deviceRunning_) {
         deviceRunning_ = true;
         ++kicks_;
+        SVTSIM_TRACE_INSTANT(machine_.traceSink(), TraceCategory::Io,
+                             "virtqueue.kick." + name_);
         return true;
     }
     return false;
@@ -70,6 +73,8 @@ Virtqueue::complete(const VirtioBuffer &buf)
     if (used_.size() >= size_)
         panic("Virtqueue %s used-ring overflow", name_.c_str());
     machine_.consume(machine_.costs().memAccess * 2);
+    SVTSIM_TRACE_INSTANT(machine_.traceSink(), TraceCategory::Io,
+                         "virtqueue.complete." + name_);
     used_.push_back(buf);
 }
 

@@ -14,10 +14,8 @@ EventQueue::schedule(Ticks when, std::function<void()> fn,
               label.c_str());
     }
     EventId id = nextId_++;
-    heap_.push(Entry{when, nextSeq_++, id, std::move(fn),
-                     std::move(label)});
-    pending_.insert(id);
-    ++live_;
+    heap_.push(HeapEntry{when, nextSeq_++, id});
+    records_.emplace(id, Record{std::move(fn), std::move(label)});
     return id;
 }
 
@@ -32,31 +30,42 @@ bool
 EventQueue::deschedule(EventId id)
 {
     // Cancelling an already-fired, already-cancelled or unknown handle
-    // is a no-op, matching the forgiving semantics of timer APIs.
-    auto it = pending_.find(id);
-    if (it == pending_.end())
-        return false;
-    pending_.erase(it);
-    --live_;
-    return true;
+    // is a no-op, matching the forgiving semantics of timer APIs. The
+    // heap entry stays behind (lazy deletion), but the closure — and
+    // anything it captured — is released right here.
+    return records_.erase(id) != 0;
 }
 
 Ticks
 EventQueue::nextEventTime() const
 {
-    const_cast<EventQueue *>(this)->popCancelled();
+    popCancelled();
     if (heap_.empty())
         return maxTick;
     return heap_.top().when;
 }
 
 void
-EventQueue::popCancelled()
+EventQueue::popCancelled() const
 {
     // Cancelled entries stay in the heap (lazy deletion) and are
     // discarded when they surface.
-    while (!heap_.empty() && !pending_.count(heap_.top().id))
+    while (!heap_.empty() && !records_.count(heap_.top().id))
         heap_.pop();
+}
+
+EventQueue::Record
+EventQueue::takeTop()
+{
+    auto it = records_.find(heap_.top().id);
+    simAssert(it != records_.end(),
+              "EventQueue: live heap entry without a record");
+    Record rec = std::move(it->second);
+    records_.erase(it);
+    now_ = heap_.top().when;
+    heap_.pop();
+    ++executed_;
+    return rec;
 }
 
 void
@@ -71,13 +80,8 @@ EventQueue::advanceTo(Ticks when)
         popCancelled();
         if (heap_.empty() || heap_.top().when > when)
             break;
-        Entry e = heap_.top();
-        heap_.pop();
-        pending_.erase(e.id);
-        --live_;
-        now_ = e.when;
-        ++executed_;
-        e.fn();
+        Record rec = takeTop();
+        rec.fn();
     }
     now_ = when;
 }
@@ -95,13 +99,8 @@ EventQueue::runNext()
     popCancelled();
     if (heap_.empty())
         return false;
-    Entry e = heap_.top();
-    heap_.pop();
-    pending_.erase(e.id);
-    --live_;
-    now_ = e.when;
-    ++executed_;
-    e.fn();
+    Record rec = takeTop();
+    rec.fn();
     return true;
 }
 

@@ -23,12 +23,14 @@
 #include <functional>
 #include <queue>
 #include <string>
-#include <unordered_set>
+#include <unordered_map>
 #include <vector>
 
 #include "sim/ticks.h"
 
 namespace svtsim {
+
+class TraceSink;
 
 /** Handle used to cancel a scheduled event. */
 using EventId = std::uint64_t;
@@ -41,6 +43,11 @@ constexpr EventId invalidEventId = 0;
  *
  * Events at the same tick run in scheduling order (FIFO), which keeps
  * runs deterministic.
+ *
+ * Cancellation is lazy in the heap but eager for the payload: the
+ * heap holds only (when, seq, id) triples, and deschedule() releases
+ * the closure immediately, so resources captured by a cancelled event
+ * (device or vCPU references) never outlive the cancellation.
  */
 class EventQueue
 {
@@ -67,18 +74,19 @@ class EventQueue
                        std::string label = {});
 
     /**
-     * Cancel a pending event. Cancelling an already-fired or unknown
-     * handle is a no-op (matches typical timer APIs).
+     * Cancel a pending event, releasing its closure immediately.
+     * Cancelling an already-fired or unknown handle is a no-op
+     * (matches typical timer APIs).
      *
      * @return True if the event was pending and is now cancelled.
      */
     bool deschedule(EventId id);
 
     /** Whether any events are pending. */
-    bool empty() const { return live_ == 0; }
+    bool empty() const { return records_.empty(); }
 
     /** Number of pending (non-cancelled) events. */
-    std::size_t size() const { return live_; }
+    std::size_t size() const { return records_.size(); }
 
     /** Time of the next pending event, or maxTick if none. */
     Ticks nextEventTime() const;
@@ -113,17 +121,25 @@ class EventQueue
     /** Total number of events executed so far (for stats/tests). */
     std::uint64_t executedCount() const { return executed_; }
 
+    /**
+     * Optional trace sink, reachable from anything that holds the
+     * queue (Machine, devices). Not owned; whoever attaches it must
+     * detach (set nullptr) before destroying it.
+     */
+    TraceSink *traceSink() const { return traceSink_; }
+    void setTraceSink(TraceSink *sink) { traceSink_ = sink; }
+
   private:
-    struct Entry
+    /** Heap key; the closure lives in records_ so cancellation can
+     *  release it eagerly. */
+    struct HeapEntry
     {
         Ticks when;
         std::uint64_t seq;
         EventId id;
-        std::function<void()> fn;
-        std::string label;
 
         bool
-        operator>(const Entry &other) const
+        operator>(const HeapEntry &other) const
         {
             if (when != other.when)
                 return when > other.when;
@@ -131,15 +147,29 @@ class EventQueue
         }
     };
 
-    void popCancelled();
+    struct Record
+    {
+        std::function<void()> fn;
+        std::string label;
+    };
 
-    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
-    std::unordered_set<EventId> pending_;
-    std::size_t live_ = 0;
+    void popCancelled() const;
+
+    /** Pop the next live event's heap entry and take its record.
+     *  @pre the heap has a live entry at the top (popCancelled ran). */
+    Record takeTop();
+
+    /** mutable: nextEventTime() prunes cancelled heap entries without
+     *  changing observable state, keeping the method genuinely const. */
+    mutable std::priority_queue<HeapEntry, std::vector<HeapEntry>,
+                                std::greater<>>
+        heap_;
+    std::unordered_map<EventId, Record> records_;
     Ticks now_ = 0;
     std::uint64_t nextSeq_ = 0;
     EventId nextId_ = 1;
     std::uint64_t executed_ = 0;
+    TraceSink *traceSink_ = nullptr;
 };
 
 /**

@@ -1,0 +1,256 @@
+#include "sim/trace.h"
+
+#include <cinttypes>
+#include <ostream>
+
+#include "sim/log.h"
+
+namespace svtsim {
+
+namespace {
+
+/** Stage spans are the attribution targets of the conservation
+ *  invariant; everything named `stage.*` participates. */
+bool
+isStageName(const std::string &name)
+{
+    return name.rfind("stage.", 0) == 0;
+}
+
+/** Minimal JSON string escaping (names are ASCII identifiers, but be
+ *  safe about quotes/backslashes/control bytes). */
+void
+writeJsonString(std::ostream &os, const std::string &s)
+{
+    os << '"';
+    for (char c : s) {
+        switch (c) {
+          case '"': os << "\\\""; break;
+          case '\\': os << "\\\\"; break;
+          case '\n': os << "\\n"; break;
+          case '\t': os << "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20)
+                os << ' ';
+            else
+                os << c;
+        }
+    }
+    os << '"';
+}
+
+} // namespace
+
+const char *
+traceCategoryName(TraceCategory c)
+{
+    switch (c) {
+      case TraceCategory::Stage: return "stage";
+      case TraceCategory::Exit: return "exit";
+      case TraceCategory::Vmx: return "vmx";
+      case TraceCategory::Vmcs: return "vmcs";
+      case TraceCategory::Svt: return "svt";
+      case TraceCategory::Channel: return "channel";
+      case TraceCategory::Irq: return "irq";
+      case TraceCategory::Io: return "io";
+      case TraceCategory::Sim: return "sim";
+    }
+    return "?";
+}
+
+TraceSink::TraceSink(EventQueue &eq, std::size_t capacity)
+    : eq_(eq), capacity_(capacity), origin_(eq.now())
+{
+    if (capacity_ == 0)
+        fatal("TraceSink requires a non-zero event capacity");
+}
+
+void
+TraceSink::setEnabled(bool on)
+{
+    if (on && !enabled_)
+        reset();
+    enabled_ = on;
+}
+
+void
+TraceSink::reset()
+{
+    events_.clear();
+    dropped_ = 0;
+    // Open spans survive a reset (RAII holders still reference them);
+    // their self time restarts from here.
+    for (auto &span : open_)
+        span.start = eq_.now();
+    stageSelf_.clear();
+    attributed_ = 0;
+    idle_ = 0;
+    unattributed_ = 0;
+    origin_ = eq_.now();
+}
+
+void
+TraceSink::push(TraceEvent ev)
+{
+    if (events_.size() >= capacity_) {
+        ++dropped_;
+        return;
+    }
+    events_.push_back(std::move(ev));
+}
+
+std::size_t
+TraceSink::beginSpan(TraceCategory category, std::string name)
+{
+    if (!enabled_)
+        return 0;
+    bool stage = isStageName(name);
+    open_.push_back(
+        OpenSpan{category, std::move(name), eq_.now(), stage});
+    if (stage)
+        openStages_.push_back(open_.size() - 1);
+    return open_.size() - 1;
+}
+
+void
+TraceSink::endSpan(std::size_t handle)
+{
+    if (!enabled_)
+        return;
+    if (open_.empty() || handle != open_.size() - 1) {
+        panic("TraceSink: span closed out of LIFO order (handle=%zu "
+              "depth=%zu)",
+              handle, open_.size());
+    }
+    OpenSpan span = std::move(open_.back());
+    open_.pop_back();
+    if (span.isStage) {
+        simAssert(!openStages_.empty() &&
+                      openStages_.back() == open_.size(),
+                  "TraceSink: stage span stack corrupted");
+        openStages_.pop_back();
+    }
+    TraceEvent ev;
+    ev.phase = TraceEvent::Phase::Complete;
+    ev.category = span.category;
+    ev.name = std::move(span.name);
+    ev.start = span.start;
+    ev.duration = eq_.now() - span.start;
+    push(std::move(ev));
+}
+
+void
+TraceSink::instant(TraceCategory category, std::string name,
+                   std::int64_t value)
+{
+    if (!enabled_)
+        return;
+    TraceEvent ev;
+    ev.phase = TraceEvent::Phase::Instant;
+    ev.category = category;
+    ev.name = std::move(name);
+    ev.start = eq_.now();
+    ev.value = value;
+    push(std::move(ev));
+}
+
+void
+TraceSink::counter(std::string name, std::int64_t value)
+{
+    if (!enabled_)
+        return;
+    TraceEvent ev;
+    ev.phase = TraceEvent::Phase::Counter;
+    ev.category = TraceCategory::Sim;
+    ev.name = std::move(name);
+    ev.start = eq_.now();
+    ev.value = value;
+    push(std::move(ev));
+}
+
+void
+TraceSink::attribute(Ticks t)
+{
+    if (!enabled_ || t <= 0)
+        return;
+    if (openStages_.empty()) {
+        unattributed_ += t;
+        return;
+    }
+    stageSelf_[open_[openStages_.back()].name] += t;
+    attributed_ += t;
+}
+
+void
+TraceSink::attributeIdle(Ticks t)
+{
+    if (!enabled_ || t <= 0)
+        return;
+    idle_ += t;
+}
+
+TraceSink::Conservation
+TraceSink::checkConservation() const
+{
+    Conservation c;
+    c.elapsed = eq_.now() - origin_;
+    c.attributed = attributed_;
+    c.idle = idle_;
+    c.unattributed = unattributed_;
+    return c;
+}
+
+void
+TraceSink::writeChromeTrace(std::ostream &os) const
+{
+    // Chrome trace-event format: timestamps ("ts") and durations
+    // ("dur") are fractional microseconds; ticks are picoseconds.
+    auto us = [](Ticks t) { return static_cast<double>(t) / 1e6; };
+    os << "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
+    bool first = true;
+    for (const auto &ev : events_) {
+        if (!first)
+            os << ',';
+        first = false;
+        os << "{\"name\":";
+        writeJsonString(os, ev.name);
+        os << ",\"cat\":\"" << traceCategoryName(ev.category)
+           << "\",\"pid\":0,\"tid\":0,\"ts\":" << us(ev.start);
+        switch (ev.phase) {
+          case TraceEvent::Phase::Complete:
+            os << ",\"ph\":\"X\",\"dur\":" << us(ev.duration);
+            break;
+          case TraceEvent::Phase::Instant:
+            os << ",\"ph\":\"i\",\"s\":\"t\",\"args\":{\"value\":"
+               << ev.value << "}";
+            break;
+          case TraceEvent::Phase::Counter:
+            os << ",\"ph\":\"C\",\"args\":{\"value\":" << ev.value
+               << "}";
+            break;
+        }
+        os << '}';
+    }
+    os << "]}";
+}
+
+void
+TraceSink::writeCsvSummary(std::ostream &os) const
+{
+    Conservation c = checkConservation();
+    os << "stage,ticks,usec,percent\n";
+    auto row = [&](const std::string &name, Ticks t) {
+        double pct = c.elapsed > 0 ? 100.0 * static_cast<double>(t) /
+                                         static_cast<double>(c.elapsed)
+                                   : 0.0;
+        os << name << ',' << t << ',' << toUsec(t) << ',' << pct
+           << '\n';
+    };
+    for (const auto &[name, ticks] : stageSelf_)
+        row(name, ticks);
+    row("idle", c.idle);
+    row("unattributed", c.unattributed);
+    os << "total," << c.elapsed << ',' << toUsec(c.elapsed) << ",100\n";
+}
+
+} // namespace svtsim

@@ -1,6 +1,7 @@
 #include "svt/svt_unit.h"
 
 #include "sim/log.h"
+#include "sim/trace.h"
 
 namespace svtsim {
 
@@ -25,6 +26,11 @@ void
 SvtUnit::disable()
 {
     enabled_ = false;
+    // Undo enable()'s single-thread illusion: with SVt off the core
+    // must behave exactly like a baseline SMT core again (Section 3.3
+    // coexistence), so every hardware context becomes runnable.
+    for (int i = 0; i < core_.numContexts(); ++i)
+        core_.context(i).stalled = false;
 }
 
 void
@@ -54,6 +60,8 @@ SvtUnit::vmResume()
               static_cast<unsigned long long>(uregs_.vm));
     }
     machine_.consume(machine_.costs().svtSwitch);
+    SVTSIM_TRACE_INSTANT(machine_.traceSink(), TraceCategory::Svt,
+                         "svt.vm_resume");
     uregs_.current = uregs_.vm;
     uregs_.isVm = true;
     core_.retargetFetch(static_cast<int>(uregs_.current));
@@ -72,6 +80,8 @@ SvtUnit::vmTrap()
               static_cast<unsigned long long>(uregs_.visor));
     }
     machine_.consume(machine_.costs().svtSwitch);
+    SVTSIM_TRACE_INSTANT(machine_.traceSink(), TraceCategory::Svt,
+                         "svt.vm_trap");
     uregs_.current = uregs_.visor;
     uregs_.isVm = false;
     core_.retargetFetch(static_cast<int>(uregs_.current));
@@ -88,6 +98,8 @@ SvtUnit::directReflect(int handler_ctx)
               handler_ctx);
     }
     machine_.consume(machine_.costs().svtSwitch);
+    SVTSIM_TRACE_INSTANT(machine_.traceSink(), TraceCategory::Svt,
+                         "svt.direct_reflect");
     uregs_.current = static_cast<std::uint64_t>(handler_ctx);
     uregs_.isVm = true;
     core_.retargetFetch(handler_ctx);

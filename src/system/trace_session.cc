@@ -1,0 +1,83 @@
+#include "system/trace_session.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include "sim/log.h"
+
+namespace svtsim {
+
+std::string
+parseTraceFlag(int argc, char **argv)
+{
+    const std::string prefix = "--trace=";
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg.rfind(prefix, 0) == 0)
+            return arg.substr(prefix.size());
+    }
+    return {};
+}
+
+namespace {
+
+/** Insert @p label before the extension: t.json + "sw" -> t.sw.json. */
+std::string
+labeledPath(const std::string &path, const std::string &label)
+{
+    if (label.empty())
+        return path;
+    auto dot = path.rfind('.');
+    auto slash = path.rfind('/');
+    if (dot == std::string::npos ||
+        (slash != std::string::npos && dot < slash)) {
+        return path + "." + label;
+    }
+    return path.substr(0, dot) + "." + label + path.substr(dot);
+}
+
+} // namespace
+
+ScopedTrace::ScopedTrace(Machine &machine, const std::string &path,
+                         const std::string &label)
+    : machine_(machine), tracePath_(labeledPath(path, label))
+{
+    if (path.empty())
+        return;
+    sink_ = std::make_unique<TraceSink>(machine.events());
+    machine_.setTraceSink(sink_.get());
+    sink_->setEnabled(true);
+}
+
+ScopedTrace::~ScopedTrace()
+{
+    if (!sink_)
+        return;
+    {
+        std::ofstream json(tracePath_);
+        if (json)
+            sink_->writeChromeTrace(json);
+        else
+            std::fprintf(stderr, "trace: cannot write %s\n",
+                         tracePath_.c_str());
+    }
+    std::string csv_path = tracePath_ + ".csv";
+    {
+        std::ofstream csv(csv_path);
+        if (csv)
+            sink_->writeCsvSummary(csv);
+    }
+    auto c = sink_->checkConservation();
+    std::fprintf(stderr,
+                 "trace: %s (+.csv) events=%zu dropped=%llu "
+                 "elapsed=%.3fus attributed=%.3fus idle=%.3fus "
+                 "unattributed=%.3fus %s\n",
+                 tracePath_.c_str(), sink_->events().size(),
+                 static_cast<unsigned long long>(sink_->droppedEvents()),
+                 toUsec(c.elapsed), toUsec(c.attributed), toUsec(c.idle),
+                 toUsec(c.unattributed),
+                 c.conserved() ? "conserved" : "NOT CONSERVED");
+    machine_.setTraceSink(nullptr);
+}
+
+} // namespace svtsim

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Bench-facing trace plumbing: `--trace=<file>` flag parsing and a
+ * ScopedTrace that attaches a TraceSink to a Machine for the duration
+ * of a measured run and exports Chrome trace JSON (`<file>`) plus a
+ * CSV stage summary (`<file>.csv`) on the way out.
+ */
+
+#ifndef SVTSIM_SYSTEM_TRACE_SESSION_H
+#define SVTSIM_SYSTEM_TRACE_SESSION_H
+
+#include <memory>
+#include <string>
+
+#include "arch/machine.h"
+#include "sim/trace.h"
+
+namespace svtsim {
+
+/**
+ * Parse a `--trace=<file>` option out of (argc, argv).
+ *
+ * @return The file path, or an empty string when the flag is absent.
+ *         Unrecognized arguments are left alone (benches have their
+ *         own, mostly empty, CLI surface).
+ */
+std::string parseTraceFlag(int argc, char **argv);
+
+/**
+ * RAII trace session over one Machine.
+ *
+ * Construction attaches and enables a TraceSink; destruction writes
+ * the Chrome trace to @p path and the CSV summary to `<path>.csv`,
+ * prints a one-line conservation report to stderr, and detaches.
+ * With an empty @p path the session is inert (benches construct one
+ * unconditionally and let the flag decide).
+ */
+class ScopedTrace
+{
+  public:
+    /** @param label Suffix inserted before the file extension when a
+     *  bench traces several machines (e.g. one per Figure 6 bar). */
+    ScopedTrace(Machine &machine, const std::string &path,
+                const std::string &label = {});
+    ~ScopedTrace();
+
+    ScopedTrace(const ScopedTrace &) = delete;
+    ScopedTrace &operator=(const ScopedTrace &) = delete;
+
+    bool active() const { return sink_ != nullptr; }
+    TraceSink *sink() { return sink_.get(); }
+
+  private:
+    Machine &machine_;
+    std::string tracePath_;
+    std::unique_ptr<TraceSink> sink_;
+};
+
+} // namespace svtsim
+
+#endif // SVTSIM_SYSTEM_TRACE_SESSION_H

@@ -1,6 +1,7 @@
 #include "virt/vmx.h"
 
 #include "sim/log.h"
+#include "sim/trace.h"
 
 namespace svtsim {
 
@@ -39,6 +40,8 @@ VmxEngine::vmptrld(Vmcs *vmcs)
     if (!vmcs)
         panic("vmptrld of null VMCS");
     machine_.consume(machine_.costs().vmptrld);
+    SVTSIM_TRACE_INSTANT(machine_.traceSink(), TraceCategory::Vmx,
+                         "vmx.vmptrld");
     current_ = vmcs;
 }
 
@@ -117,6 +120,8 @@ VmxEngine::vmentry(bool launch)
     inGuest_ = true;
     ++entries_;
     machine_.count("vmx.entry");
+    SVTSIM_TRACE_INSTANT(machine_.traceSink(), TraceCategory::Vmx,
+                         "vmx.entry");
 }
 
 void
@@ -148,6 +153,9 @@ VmxEngine::vmexit(const ExitInfo &info)
     ++exits_;
     machine_.count("vmx.exit");
     machine_.count(std::string("vmx.exit.") + exitReasonName(info.reason));
+    SVTSIM_TRACE_INSTANT(machine_.traceSink(), TraceCategory::Vmx,
+                         std::string("vmx.exit.") +
+                             exitReasonName(info.reason));
 }
 
 bool
@@ -164,6 +172,8 @@ VmxEngine::guestVmread(VmcsField field, std::uint64_t &value)
         value = shadow->read(field);
         ++shadowAccesses_;
         machine_.count("vmx.shadow_read");
+        SVTSIM_TRACE_INSTANT(machine_.traceSink(), TraceCategory::Vmcs,
+                             "vmcs.shadow_read");
         return true;
     }
     return false;
@@ -184,6 +194,8 @@ VmxEngine::guestVmwrite(VmcsField field, std::uint64_t value)
         shadow->write(field, value);
         ++shadowAccesses_;
         machine_.count("vmx.shadow_write");
+        SVTSIM_TRACE_INSTANT(machine_.traceSink(), TraceCategory::Vmcs,
+                             "vmcs.shadow_write");
         return true;
     }
     return false;

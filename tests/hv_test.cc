@@ -829,6 +829,31 @@ TEST(Channel, RingRejectsZeroCapacity)
     EXPECT_THROW(CommandRing(machine, 0), FatalError);
 }
 
+TEST(Channel, RingChargesSymmetricPayload)
+{
+    // Regression: pop() used to charge only 4 payload values while
+    // post() charged the full message (numGprs + 2 + 7), silently
+    // under-costing every SW SVt consumer-side payload read.
+    Machine machine(MachineTopology{1, 1, 2});
+    CommandRing ring(machine, 2);
+    const CostModel &c = machine.costs();
+    ChannelMessage msg;
+
+    Ticks t0 = machine.now();
+    ring.post(msg);
+    Ticks post_cost = machine.now() - t0;
+
+    t0 = machine.now();
+    ring.pop();
+    Ticks pop_cost = machine.now() - t0;
+
+    EXPECT_EQ(post_cost,
+              c.ringPost + c.ringPayloadValue * ringPayloadValues);
+    // The payload crosses the shared lines once in each direction:
+    // consumer pays the same copy cost, minus the descriptor store.
+    EXPECT_EQ(pop_cost, post_cost - c.ringPost);
+}
+
 TEST(Channel, SwSvtFasterWithMwaitThanCrossNodeChannel)
 {
     auto run = [](Placement p) {

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <memory>
 #include <vector>
 
 #include "sim/event_queue.h"
@@ -415,6 +416,38 @@ TEST(EventQueue, SizeExcludesCancelled)
     EXPECT_EQ(eq.size(), 2u);
     eq.deschedule(a);
     EXPECT_EQ(eq.size(), 1u);
+}
+
+TEST(EventQueue, DescheduleReleasesClosureEagerly)
+{
+    // Regression: lazy cancellation used to keep the cancelled
+    // std::function (and everything it captured — device or vCPU
+    // references) alive in the heap until the entry surfaced, which
+    // for a far-future timer could be effectively forever.
+    EventQueue eq;
+    auto captured = std::make_shared<int>(42);
+    EventId id = eq.schedule(sec(3600), [captured] { (void)*captured; });
+    EXPECT_EQ(captured.use_count(), 2);
+    EXPECT_TRUE(eq.deschedule(id));
+    EXPECT_EQ(captured.use_count(), 1);
+}
+
+TEST(EventQueue, NextEventTimeIsConstAndStable)
+{
+    EventQueue eq;
+    EventId early = eq.schedule(nsec(10), [] {});
+    eq.schedule(nsec(20), [] {});
+    eq.deschedule(early);
+    const EventQueue &ceq = eq;
+    EXPECT_EQ(ceq.nextEventTime(), nsec(20));
+    // Repeated queries see the same state; pruning cancelled heap
+    // entries must not disturb live ones.
+    EXPECT_EQ(ceq.nextEventTime(), nsec(20));
+    EXPECT_EQ(ceq.size(), 1u);
+    bool ran = false;
+    eq.schedule(nsec(20), [&] { ran = true; });
+    eq.advanceTo(nsec(30));
+    EXPECT_TRUE(ran);
 }
 
 TEST(Clock, ConsumeAdvancesSharedQueue)

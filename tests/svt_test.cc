@@ -299,5 +299,33 @@ TEST_F(SvtUnitTest, DisableRestoresBaseline)
     EXPECT_THROW(unit.vmTrap(), PanicError);
 }
 
+TEST_F(SvtUnitTest, DisableUnstallsAllContexts)
+{
+    // Regression: enable() stalls every non-active context to build
+    // the single-thread illusion, and disable() used to leave them
+    // stalled — the core never returned to baseline SMT behavior
+    // (Section 3.3 coexistence).
+    setupNested();
+    unit.vmResume();
+    int stalled = 0;
+    for (int i = 0; i < machine.core(0).numContexts(); ++i)
+        stalled += machine.core(0).context(i).stalled ? 1 : 0;
+    EXPECT_EQ(stalled, machine.core(0).numContexts() - 1);
+    unit.disable();
+    for (int i = 0; i < machine.core(0).numContexts(); ++i)
+        EXPECT_FALSE(machine.core(0).context(i).stalled) << i;
+}
+
+TEST_F(SvtUnitTest, ReEnableAfterDisableRebuildsIllusion)
+{
+    setupNested();
+    unit.disable();
+    unit.enable();
+    int running = 0;
+    for (int i = 0; i < machine.core(0).numContexts(); ++i)
+        running += machine.core(0).context(i).stalled ? 0 : 1;
+    EXPECT_EQ(running, 1);
+}
+
 } // namespace
 } // namespace svtsim
