@@ -13,49 +13,64 @@
 #include <cstdio>
 
 #include "stats/table.h"
-#include "system/nested_system.h"
+#include "system/bench_harness.h"
 #include "workloads/microbench.h"
 
 using namespace svtsim;
 
 namespace {
 
-double
-cpuidUsec(VirtMode mode, bool bypass, std::uint64_t &direct)
+void
+runCpuid(NestedSystem &sys, ScenarioResult &r)
 {
-    StackConfig cfg;
-    cfg.svtDirectReflect = bypass;
-    NestedSystem sys(mode, cfg);
-    auto r = CpuidMicrobench::run(sys.machine(), sys.api());
-    direct = sys.machine().counter("l0.direct_reflect");
-    return r.meanUsec;
+    r.record("cpuid_us",
+             CpuidMicrobench::run(sys.machine(), sys.api()).meanUsec);
+    r.record("direct_reflects",
+             static_cast<double>(
+                 sys.machine().counter("l0.direct_reflect")));
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
-    std::uint64_t d0 = 0, d1 = 0, d2 = 0;
-    double base = cpuidUsec(VirtMode::Nested, false, d0);
-    double hw = cpuidUsec(VirtMode::HwSvt, false, d1);
-    double hw_bypass = cpuidUsec(VirtMode::HwSvt, true, d2);
+    BenchHarness bench("ablation_bypass",
+                       "Ablation: Section 3.1 selective level "
+                       "bypass");
+    bench.add("baseline", VirtMode::Nested, runCpuid);
+    bench.add("hw-svt", VirtMode::HwSvt, runCpuid);
+    StackConfig bypass;
+    bypass.svtDirectReflect = true;
+    bench.add("hw-svt-bypass", VirtMode::HwSvt, bypass, runCpuid);
 
-    Table t({"System", "cpuid (us)", "Speedup vs baseline",
-             "Direct reflects"});
-    t.addRow({"Nested baseline", Table::num(base, 2), "-", "0"});
-    t.addRow({"HW SVt", Table::num(hw, 2),
-              Table::num(base / hw, 2) + "x", std::to_string(d1)});
-    t.addRow({"HW SVt + direct reflect", Table::num(hw_bypass, 2),
-              Table::num(base / hw_bypass, 2) + "x",
-              std::to_string(d2)});
+    bench.onReport([](const SweepResults &res) {
+        double base = res.metric("baseline", "cpuid_us");
+        double hw = res.metric("hw-svt", "cpuid_us");
+        double hw_bypass = res.metric("hw-svt-bypass", "cpuid_us");
 
-    std::printf("Ablation: Section 3.1 selective level bypass\n\n%s\n",
-                t.render().c_str());
-    std::printf("The remaining cost is the L1 handler itself plus its "
-                "own trapped operations; the VMCS transforms and the\n"
-                "L0 reflection logic disappear from the whitelisted "
-                "paths, approaching native nested-virtualization "
-                "hardware.\n");
-    return 0;
+        Table t({"System", "cpuid (us)", "Speedup vs baseline",
+                 "Direct reflects"});
+        t.addRow({"Nested baseline", Table::num(base, 2), "-", "0"});
+        t.addRow({"HW SVt", Table::num(hw, 2),
+                  Table::num(base / hw, 2) + "x",
+                  Table::num(res.metric("hw-svt", "direct_reflects"),
+                             0)});
+        t.addRow({"HW SVt + direct reflect", Table::num(hw_bypass, 2),
+                  Table::num(base / hw_bypass, 2) + "x",
+                  Table::num(res.metric("hw-svt-bypass",
+                                        "direct_reflects"),
+                             0)});
+
+        std::printf("Ablation: Section 3.1 selective level "
+                    "bypass\n\n%s\n",
+                    t.render().c_str());
+        std::printf(
+            "The remaining cost is the L1 handler itself plus its "
+            "own trapped operations; the VMCS transforms and the\n"
+            "L0 reflection logic disappear from the whitelisted "
+            "paths, approaching native nested-virtualization "
+            "hardware.\n");
+    });
+    return bench.main(argc, argv);
 }

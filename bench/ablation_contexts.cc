@@ -13,50 +13,75 @@
 #include <cstdio>
 
 #include "stats/table.h"
-#include "system/nested_system.h"
+#include "system/bench_harness.h"
 #include "workloads/microbench.h"
 
 using namespace svtsim;
 
 namespace {
 
-double
-cpuidUsec(VirtMode mode, int threads_per_core, std::uint64_t &muxes)
+void
+runCpuid(NestedSystem &sys, ScenarioResult &r)
 {
+    r.record("cpuid_us",
+             CpuidMicrobench::run(sys.machine(), sys.api()).meanUsec);
+    r.record("ctx_multiplex",
+             static_cast<double>(
+                 sys.machine().counter("svt.ctx_multiplex")));
+}
+
+Scenario
+contextScenario(const char *name, VirtMode mode, int threads_per_core)
+{
+    Scenario s;
+    s.name = name;
+    s.mode = mode;
     MachineTopology topo = paperTopology(mode);
     topo.threadsPerCore = threads_per_core;
-    Machine machine(topo, paperCosts());
-    StackConfig cfg;
-    cfg.mode = mode;
-    VirtStack stack(machine, cfg);
-    auto r = CpuidMicrobench::run(machine, stack.api());
-    muxes = machine.counter("svt.ctx_multiplex");
-    return r.meanUsec;
+    s.topology = topo;
+    s.run = runCpuid;
+    return s;
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
-    std::uint64_t m0 = 0, m2 = 0, m3 = 0;
-    double base = cpuidUsec(VirtMode::Nested, 2, m0);
-    double hw2 = cpuidUsec(VirtMode::HwSvt, 2, m2);
-    double hw3 = cpuidUsec(VirtMode::HwSvt, 3, m3);
+    BenchHarness bench("ablation_contexts",
+                       "Ablation: SVt hardware-context capacity");
+    bench.add(contextScenario("baseline-2ctx", VirtMode::Nested, 2));
+    bench.add(contextScenario("hw-svt-2ctx", VirtMode::HwSvt, 2));
+    bench.add(contextScenario("hw-svt-3ctx", VirtMode::HwSvt, 3));
 
-    Table t({"System", "Contexts/core", "cpuid (us)",
-             "Speedup vs baseline", "Owner swaps"});
-    t.addRow({"Nested baseline", "2", Table::num(base, 2), "-", "0"});
-    t.addRow({"HW SVt (multiplexed)", "2", Table::num(hw2, 2),
-              Table::num(base / hw2, 2) + "x", std::to_string(m2)});
-    t.addRow({"HW SVt (dedicated)", "3", Table::num(hw3, 2),
-              Table::num(base / hw3, 2) + "x", std::to_string(m3)});
+    bench.onReport([](const SweepResults &res) {
+        double base = res.metric("baseline-2ctx", "cpuid_us");
+        double hw2 = res.metric("hw-svt-2ctx", "cpuid_us");
+        double hw3 = res.metric("hw-svt-3ctx", "cpuid_us");
 
-    std::printf("Ablation: SVt hardware-context capacity\n\n%s\n",
-                t.render().c_str());
-    std::printf("With only two contexts, L1 and L2 share one: every "
-                "reflection pays a software spill/reload and the\n"
-                "cross-context register access degenerates to memory "
-                "— SVt still wins, but by less.\n");
-    return 0;
+        Table t({"System", "Contexts/core", "cpuid (us)",
+                 "Speedup vs baseline", "Owner swaps"});
+        t.addRow(
+            {"Nested baseline", "2", Table::num(base, 2), "-", "0"});
+        t.addRow({"HW SVt (multiplexed)", "2", Table::num(hw2, 2),
+                  Table::num(base / hw2, 2) + "x",
+                  Table::num(res.metric("hw-svt-2ctx",
+                                        "ctx_multiplex"),
+                             0)});
+        t.addRow({"HW SVt (dedicated)", "3", Table::num(hw3, 2),
+                  Table::num(base / hw3, 2) + "x",
+                  Table::num(res.metric("hw-svt-3ctx",
+                                        "ctx_multiplex"),
+                             0)});
+
+        std::printf("Ablation: SVt hardware-context "
+                    "capacity\n\n%s\n",
+                    t.render().c_str());
+        std::printf(
+            "With only two contexts, L1 and L2 share one: every "
+            "reflection pays a software spill/reload and the\n"
+            "cross-context register access degenerates to memory "
+            "— SVt still wins, but by less.\n");
+    });
+    return bench.main(argc, argv);
 }

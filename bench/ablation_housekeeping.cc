@@ -8,53 +8,82 @@
  */
 
 #include <cstdio>
+#include <string>
 
 #include "io/virtio_net.h"
 #include "stats/table.h"
-#include "system/nested_system.h"
+#include "system/bench_harness.h"
 #include "workloads/memcached.h"
 
 using namespace svtsim;
 
 namespace {
 
-MemcachedPoint
-onePoint(VirtMode mode, double qps, double per_request)
+constexpr double qps = 10000;
+const double hkRates[] = {0.0, 0.3, 0.6, 0.9, 1.2, 1.8};
+
+std::string
+hkName(VirtMode mode, double per_req)
 {
-    NestedSystem sys(mode);
-    NetFabric fabric(sys.machine(), sys.machine().costs().wireLatency,
-                     sys.machine().costs().linkBitsPerSec);
-    VirtioNetStack net(sys.stack(), fabric);
-    MemcachedBench bench(sys.stack(), net, fabric, 42, 1000.0,
-                         usec(14.5), per_request);
-    return bench.runLoad(qps, msec(250));
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.1fhk", per_req);
+    return std::string(virtModeName(mode)) + "-" + buf;
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
-    const double qps = 10000;
-    Table t({"HK events/request", "base avg (us)", "base p99 (us)",
-             "SVt avg (us)", "SVt p99 (us)", "p99 gain"});
-    for (double per_req : {0.0, 0.3, 0.6, 0.9, 1.2, 1.8}) {
-        MemcachedPoint base =
-            onePoint(VirtMode::Nested, qps, per_req);
-        MemcachedPoint svt = onePoint(VirtMode::SwSvt, qps, per_req);
-        t.addRow({Table::num(per_req, 1),
-                  Table::num(base.avgUsec, 0),
-                  Table::num(base.p99Usec, 0),
-                  Table::num(svt.avgUsec, 0),
-                  Table::num(svt.p99Usec, 0),
-                  Table::num(base.p99Usec / svt.p99Usec, 2) + "x"});
+    BenchHarness bench("ablation_housekeeping",
+                       "Ablation: L1 housekeeping interference "
+                       "(memcached, ETC)");
+    for (VirtMode mode : {VirtMode::Nested, VirtMode::SwSvt}) {
+        for (double per_req : hkRates) {
+            bench.add(
+                hkName(mode, per_req), mode,
+                [per_req](NestedSystem &sys, ScenarioResult &r) {
+                    NetFabric fabric(
+                        sys.machine(),
+                        sys.machine().costs().wireLatency,
+                        sys.machine().costs().linkBitsPerSec);
+                    VirtioNetStack net(sys.stack(), fabric);
+                    MemcachedBench mc(sys.stack(), net, fabric, 42,
+                                      1000.0, usec(14.5), per_req);
+                    MemcachedPoint pt = mc.runLoad(qps, msec(250));
+                    r.record("avg_usec", pt.avgUsec);
+                    r.record("p99_usec", pt.p99Usec);
+                });
+        }
     }
-    std::printf("Ablation: L1 housekeeping interference at %.0f qps "
-                "(memcached, ETC)\n\n%s\n",
-                qps, t.render().c_str());
-    std::printf("At 0 events/request the SW SVt win is pure trap "
-                "acceleration; the tail gap widens with interference\n"
-                "because the SVt-thread lets the L1 vCPU drain its "
-                "housekeeping concurrently.\n");
-    return 0;
+
+    bench.onReport([](const SweepResults &res) {
+        Table t({"HK events/request", "base avg (us)",
+                 "base p99 (us)", "SVt avg (us)", "SVt p99 (us)",
+                 "p99 gain"});
+        for (double per_req : hkRates) {
+            const auto &base =
+                res.at(hkName(VirtMode::Nested, per_req));
+            const auto &svt =
+                res.at(hkName(VirtMode::SwSvt, per_req));
+            t.addRow({Table::num(per_req, 1),
+                      Table::num(base.metric("avg_usec"), 0),
+                      Table::num(base.metric("p99_usec"), 0),
+                      Table::num(svt.metric("avg_usec"), 0),
+                      Table::num(svt.metric("p99_usec"), 0),
+                      Table::num(base.metric("p99_usec") /
+                                     svt.metric("p99_usec"),
+                                 2) +
+                          "x"});
+        }
+        std::printf("Ablation: L1 housekeeping interference at %.0f "
+                    "qps (memcached, ETC)\n\n%s\n",
+                    qps, t.render().c_str());
+        std::printf(
+            "At 0 events/request the SW SVt win is pure trap "
+            "acceleration; the tail gap widens with interference\n"
+            "because the SVt-thread lets the L1 vCPU drain its "
+            "housekeeping concurrently.\n");
+    });
+    return bench.main(argc, argv);
 }

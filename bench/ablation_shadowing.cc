@@ -6,48 +6,69 @@
  */
 
 #include <cstdio>
+#include <string>
 
 #include "stats/table.h"
-#include "system/nested_system.h"
+#include "system/bench_harness.h"
 #include "workloads/microbench.h"
 
 using namespace svtsim;
 
 namespace {
 
-double
-cpuidUsec(VirtMode mode, bool shadowing, std::uint64_t &l1_traps)
+std::string
+shadowName(VirtMode mode, bool shadowing)
 {
-    StackConfig cfg;
-    cfg.hwVmcsShadowing = shadowing;
-    NestedSystem sys(mode, cfg);
-    auto r = CpuidMicrobench::run(sys.machine(), sys.api());
-    l1_traps = sys.machine().counter("l0.exit.VMREAD") +
-               sys.machine().counter("l0.exit.VMWRITE");
-    return r.meanUsec;
+    return std::string(virtModeName(mode)) +
+           (shadowing ? "-shadow" : "-noshadow");
+}
+
+void
+runCpuid(NestedSystem &sys, ScenarioResult &r)
+{
+    r.record("cpuid_us",
+             CpuidMicrobench::run(sys.machine(), sys.api()).meanUsec);
+    r.record("l1_vmcs_traps",
+             static_cast<double>(
+                 sys.machine().counter("l0.exit.VMREAD") +
+                 sys.machine().counter("l0.exit.VMWRITE")));
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
-    Table t({"System", "Shadowing", "cpuid (us)",
-             "L1 VMCS traps (total)"});
+    BenchHarness bench("ablation_shadowing",
+                       "Ablation: hardware VMCS shadowing");
     for (VirtMode mode :
          {VirtMode::Nested, VirtMode::SwSvt, VirtMode::HwSvt}) {
         for (bool sh : {true, false}) {
-            std::uint64_t traps = 0;
-            double us = cpuidUsec(mode, sh, traps);
-            t.addRow({virtModeName(mode), sh ? "on" : "off",
-                      Table::num(us, 2), std::to_string(traps)});
+            StackConfig cfg;
+            cfg.hwVmcsShadowing = sh;
+            bench.add(shadowName(mode, sh), mode, cfg, runCpuid);
         }
     }
-    std::printf("Ablation: hardware VMCS shadowing\n\n%s\n",
-                t.render().c_str());
-    std::printf("Without shadowing, every L1 vmread/vmwrite traps to "
-                "L0; SVt absorbs most of the extra cost because the\n"
-                "trap round shrinks from a full context switch to a "
-                "thread stall/resume pair.\n");
-    return 0;
+
+    bench.onReport([](const SweepResults &res) {
+        Table t({"System", "Shadowing", "cpuid (us)",
+                 "L1 VMCS traps (total)"});
+        for (VirtMode mode :
+             {VirtMode::Nested, VirtMode::SwSvt, VirtMode::HwSvt}) {
+            for (bool sh : {true, false}) {
+                const auto &r = res.at(shadowName(mode, sh));
+                t.addRow({virtModeName(mode), sh ? "on" : "off",
+                          Table::num(r.metric("cpuid_us"), 2),
+                          Table::num(r.metric("l1_vmcs_traps"), 0)});
+            }
+        }
+        std::printf("Ablation: hardware VMCS shadowing\n\n%s\n",
+                    t.render().c_str());
+        std::printf(
+            "Without shadowing, every L1 vmread/vmwrite traps to "
+            "L0; SVt absorbs most of the extra cost because the\n"
+            "trap round shrinks from a full context switch to a "
+            "thread stall/resume pair.\n");
+    });
+    return bench.main(argc, argv);
 }

@@ -8,29 +8,47 @@
  */
 
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "hv/channel.h"
 #include "stats/table.h"
-#include "system/nested_system.h"
-#include "system/trace_session.h"
+#include "system/bench_harness.h"
 #include "workloads/microbench.h"
 
 using namespace svtsim;
 
-int
-main(int argc, char **argv)
-{
-    std::string trace_path = parseTraceFlag(argc, argv);
-    CostModel costs;
+namespace {
 
-    // ---- raw wake latency by mechanism and placement ----------------
+const WaitMechanism mechanisms[] = {
+    WaitMechanism::Poll, WaitMechanism::Mwait, WaitMechanism::Mutex};
+const Placement placements[] = {
+    Placement::SmtSibling, Placement::SameNode, Placement::CrossNode};
+
+std::string
+channelName(WaitMechanism m, Placement p)
+{
+    return std::string(waitMechanismName(m)) + "-" +
+           placementName(p);
+}
+
+void
+runCpuid(NestedSystem &sys, ScenarioResult &r)
+{
+    r.record("cpuid_us",
+             CpuidMicrobench::run(sys.machine(), sys.api()).meanUsec);
+}
+
+/** The pure-model tables (no simulation): raw wake latency and the
+ *  effective cost with a working SMT sibling. */
+void
+reportChannelModel(const CostModel &costs)
+{
     Table lat({"Mechanism", "SMT sibling (us)", "Same node (us)",
                "Cross node (us)"});
-    for (auto m : {WaitMechanism::Poll, WaitMechanism::Mwait,
-                   WaitMechanism::Mutex}) {
+    for (auto m : mechanisms) {
         std::vector<std::string> row{waitMechanismName(m)};
-        for (auto p : {Placement::SmtSibling, Placement::SameNode,
-                       Placement::CrossNode}) {
+        for (auto p : placements) {
             ChannelModel ch{m, p};
             row.push_back(Table::num(
                 toUsec(ch.waiterSetup(costs) + ch.wakeLatency(costs)),
@@ -38,10 +56,10 @@ main(int argc, char **argv)
         }
         lat.addRow(row);
     }
-    std::printf("Channel study (Section 6.1): response latency\n\n%s\n",
+    std::printf("Channel study (Section 6.1): response "
+                "latency\n\n%s\n",
                 lat.render().c_str());
 
-    // ---- effective cost with a working sibling ------------------------
     // Polling steals execution slots from a colocated SMT thread, so
     // its advantage vanishes as the workload grows.
     Table eff({"Workload (reg ops)", "poll (us)", "mwait (us)",
@@ -49,8 +67,7 @@ main(int argc, char **argv)
     for (int work : {0, 200, 1000, 5000, 20000}) {
         Ticks w = costs.regOp * work;
         std::vector<std::string> row{std::to_string(work)};
-        for (auto m : {WaitMechanism::Poll, WaitMechanism::Mwait,
-                       WaitMechanism::Mutex}) {
+        for (auto m : mechanisms) {
             ChannelModel ch{m, Placement::SmtSibling};
             double total =
                 toUsec(ch.waiterSetup(costs) + ch.wakeLatency(costs)) +
@@ -62,39 +79,11 @@ main(int argc, char **argv)
     std::printf("Effective latency with a working SMT sibling "
                 "(wait + slowed-down workload)\n\n%s\n",
                 eff.render().c_str());
+}
 
-    // ---- impact on the SW SVt cpuid benchmark -------------------------
-    Table impact({"Channel", "cpuid (us)", "Speedup vs baseline"});
-    double base;
-    {
-        NestedSystem sys(VirtMode::Nested);
-        base = CpuidMicrobench::run(sys.machine(), sys.api()).meanUsec;
-    }
-    impact.addRow({"(baseline, no SVt)", Table::num(base, 2), "-"});
-    for (auto m : {WaitMechanism::Poll, WaitMechanism::Mwait,
-                   WaitMechanism::Mutex}) {
-        for (auto p : {Placement::SmtSibling, Placement::SameNode,
-                       Placement::CrossNode}) {
-            StackConfig cfg;
-            cfg.channel = ChannelModel{m, p};
-            NestedSystem sys(VirtMode::SwSvt, cfg);
-            ScopedTrace trace(sys.machine(), trace_path,
-                              std::string(waitMechanismName(m)) + "-" +
-                                  placementName(p));
-            double t =
-                CpuidMicrobench::run(sys.machine(), sys.api())
-                    .meanUsec;
-            impact.addRow({std::string(waitMechanismName(m)) + " / " +
-                               placementName(p),
-                           Table::num(t, 2),
-                           Table::num(base / t, 2) + "x"});
-        }
-    }
-    std::printf("SW SVt cpuid latency by channel configuration "
-                "(paper: mwait on the SMT sibling, 1.23x)\n\n%s\n",
-                impact.render().c_str());
-
-    // ---- the paper's five observations ---------------------------------
+void
+reportObservations(const CostModel &costs)
+{
     auto wake = [&](WaitMechanism m, Placement p) {
         ChannelModel ch{m, p};
         return ch.waiterSetup(costs) + ch.wakeLatency(costs);
@@ -123,5 +112,50 @@ main(int argc, char **argv)
                 obs4 ? "yes" : "NO");
     std::printf("  5. mwait beats mutex for the SVt channel: %s\n",
                 obs5 ? "yes" : "NO");
-    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    BenchHarness bench("channel_micro",
+                       "Section 6.1 communication-channel study");
+    bench.add("baseline", VirtMode::Nested, runCpuid);
+    for (auto m : mechanisms) {
+        for (auto p : placements) {
+            StackConfig cfg;
+            cfg.channel = ChannelModel{m, p};
+            bench.add(channelName(m, p), VirtMode::SwSvt, cfg,
+                      runCpuid);
+        }
+    }
+
+    bench.onReport([](const SweepResults &res) {
+        CostModel costs;
+        reportChannelModel(costs);
+
+        Table impact({"Channel", "cpuid (us)",
+                      "Speedup vs baseline"});
+        double base = res.metric("baseline", "cpuid_us");
+        impact.addRow(
+            {"(baseline, no SVt)", Table::num(base, 2), "-"});
+        for (auto m : mechanisms) {
+            for (auto p : placements) {
+                double t =
+                    res.metric(channelName(m, p), "cpuid_us");
+                impact.addRow({std::string(waitMechanismName(m)) +
+                                   " / " + placementName(p),
+                               Table::num(t, 2),
+                               Table::num(base / t, 2) + "x"});
+            }
+        }
+        std::printf("SW SVt cpuid latency by channel configuration "
+                    "(paper: mwait on the SMT sibling, "
+                    "1.23x)\n\n%s\n",
+                    impact.render().c_str());
+
+        reportObservations(costs);
+    });
+    return bench.main(argc, argv);
 }

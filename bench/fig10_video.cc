@@ -8,30 +8,23 @@
  */
 
 #include <cstdio>
+#include <string>
 
 #include "io/ramdisk.h"
 #include "io/virtio_blk.h"
 #include "stats/table.h"
-#include "system/nested_system.h"
-#include "system/trace_session.h"
+#include "system/bench_harness.h"
 #include "workloads/video.h"
 
 using namespace svtsim;
 
 namespace {
 
-VideoResult
-measure(VirtMode mode, double fps, const std::string &trace_path)
+std::string
+playName(VirtMode mode, double fps)
 {
-    NestedSystem sys(mode);
-    ScopedTrace trace(sys.machine(), trace_path,
-                      std::string(virtModeName(mode)) + "-" +
-                          std::to_string(static_cast<int>(fps)) +
-                          "fps");
-    RamDisk disk(sys.machine(), "media");
-    VirtioBlkStack blk(sys.stack(), disk);
-    VideoPlayback player(sys.stack(), blk);
-    return player.run(fps, sec(300));
+    return std::string(virtModeName(mode)) + "-" +
+           std::to_string(static_cast<int>(fps)) + "fps";
 }
 
 } // namespace
@@ -39,26 +32,46 @@ measure(VirtMode mode, double fps, const std::string &trace_path)
 int
 main(int argc, char **argv)
 {
-    std::string trace_path = parseTraceFlag(argc, argv);
     const double rates[] = {24, 60, 120};
     const char *paper_base[] = {"0", "3", "40"};
     const char *paper_svt[] = {"0", "0", "26"};
 
-    Table t({"FPS", "Baseline drops", "SVt drops", "Paper base",
-             "Paper SVt", "Busy (base)"});
-    for (int i = 0; i < 3; ++i) {
-        VideoResult base =
-            measure(VirtMode::Nested, rates[i], trace_path);
-        VideoResult svt =
-            measure(VirtMode::SwSvt, rates[i], trace_path);
-        t.addRow({Table::num(rates[i], 0),
-                  std::to_string(base.droppedFrames),
-                  std::to_string(svt.droppedFrames), paper_base[i],
-                  paper_svt[i],
-                  Table::num(base.busyFraction * 100, 0) + "%"});
+    BenchHarness bench("fig10_video",
+                       "Figure 10: dropped frames vs video frame "
+                       "rate (5 min of 4K playback)");
+    for (VirtMode mode : {VirtMode::Nested, VirtMode::SwSvt}) {
+        for (double fps : rates) {
+            bench.add(playName(mode, fps), mode,
+                      [fps](NestedSystem &sys, ScenarioResult &r) {
+                          RamDisk disk(sys.machine(), "media");
+                          VirtioBlkStack blk(sys.stack(), disk);
+                          VideoPlayback player(sys.stack(), blk);
+                          VideoResult v = player.run(fps, sec(300));
+                          r.record("dropped_frames", v.droppedFrames);
+                          r.record("busy_fraction", v.busyFraction);
+                      });
+        }
     }
-    std::printf("Figure 10: dropped frames vs video frame rate "
-                "(5 min of 4K playback)\n\n%s\n",
-                t.render().c_str());
-    return 0;
+
+    bench.onReport([&](const SweepResults &res) {
+        Table t({"FPS", "Baseline drops", "SVt drops", "Paper base",
+                 "Paper SVt", "Busy (base)"});
+        for (int i = 0; i < 3; ++i) {
+            const auto &base =
+                res.at(playName(VirtMode::Nested, rates[i]));
+            const auto &svt =
+                res.at(playName(VirtMode::SwSvt, rates[i]));
+            t.addRow({Table::num(rates[i], 0),
+                      Table::num(base.metric("dropped_frames"), 0),
+                      Table::num(svt.metric("dropped_frames"), 0),
+                      paper_base[i], paper_svt[i],
+                      Table::num(base.metric("busy_fraction") * 100,
+                                 0) +
+                          "%"});
+        }
+        std::printf("Figure 10: dropped frames vs video frame rate "
+                    "(5 min of 4K playback)\n\n%s\n",
+                    t.render().c_str());
+    });
+    return bench.main(argc, argv);
 }

@@ -8,10 +8,10 @@
  */
 
 #include <cstdio>
+#include <iterator>
 
 #include "stats/table.h"
-#include "system/nested_system.h"
-#include "system/trace_session.h"
+#include "system/bench_harness.h"
 #include "workloads/microbench.h"
 
 using namespace svtsim;
@@ -24,37 +24,45 @@ main(int argc, char **argv)
         const char *name;
         const char *label;
         VirtMode mode;
+        const char *paper;
     };
-    const Bar bars[] = {
-        {"L0", "l0", VirtMode::Native},
-        {"L1", "l1", VirtMode::Single},
-        {"L2", "l2", VirtMode::Nested},
-        {"SW SVt", "sw_svt", VirtMode::SwSvt},
-        {"HW SVt", "hw_svt", VirtMode::HwSvt},
+    static const Bar bars[] = {
+        {"L0", "l0", VirtMode::Native, "0.05 us"},
+        {"L1", "l1", VirtMode::Single, "~1.2 us"},
+        {"L2", "l2", VirtMode::Nested, "10.40 us"},
+        {"SW SVt", "sw_svt", VirtMode::SwSvt, "1.23x"},
+        {"HW SVt", "hw_svt", VirtMode::HwSvt, "1.94x"},
     };
-    std::string trace_path = parseTraceFlag(argc, argv);
 
-    double results[5] = {};
-    for (int i = 0; i < 5; ++i) {
-        NestedSystem sys(bars[i].mode);
-        ScopedTrace trace(sys.machine(), trace_path, bars[i].label);
-        auto r = CpuidMicrobench::run(sys.machine(), sys.api());
-        results[i] = r.meanUsec;
+    BenchHarness bench(
+        "fig6_cpuid",
+        "Figure 6: execution time of a cpuid instruction");
+    for (const Bar &bar : bars) {
+        bench.add(bar.label, bar.mode,
+                  [](NestedSystem &sys, ScenarioResult &r) {
+                      auto m = CpuidMicrobench::run(sys.machine(),
+                                                    sys.api());
+                      r.record("mean_usec", m.meanUsec);
+                      r.record("stddev_usec", m.stddevUsec);
+                  });
     }
 
-    double baseline = results[2];
-    Table t({"System", "Time (us)", "Overhead vs L0", "Speedup vs L2",
-             "Paper"});
-    const char *paper[] = {"0.05 us", "~1.2 us", "10.40 us",
-                           "1.23x", "1.94x"};
-    for (int i = 0; i < 5; ++i) {
-        t.addRow({bars[i].name, Table::num(results[i], 2),
-                  Table::num(results[i] / results[0], 1) + "x",
-                  i >= 3 ? Table::num(baseline / results[i], 2) + "x"
-                         : "-",
-                  paper[i]});
-    }
-    std::printf("Figure 6: execution time of a cpuid instruction\n\n%s\n",
-                t.render().c_str());
-    return 0;
+    bench.onReport([&](const SweepResults &res) {
+        double l0 = res.metric("l0", "mean_usec");
+        double baseline = res.metric("l2", "mean_usec");
+        Table t({"System", "Time (us)", "Overhead vs L0",
+                 "Speedup vs L2", "Paper"});
+        for (std::size_t i = 0; i < std::size(bars); ++i) {
+            double us = res.metric(bars[i].label, "mean_usec");
+            t.addRow({bars[i].name, Table::num(us, 2),
+                      Table::num(us / l0, 1) + "x",
+                      i >= 3 ? Table::num(baseline / us, 2) + "x"
+                             : "-",
+                      bars[i].paper});
+        }
+        std::printf("Figure 6: execution time of a cpuid "
+                    "instruction\n\n%s\n",
+                    t.render().c_str());
+    });
+    return bench.main(argc, argv);
 }

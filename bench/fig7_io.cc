@@ -17,14 +17,13 @@
  */
 
 #include <cstdio>
-#include <memory>
+#include <string>
 
 #include "io/ramdisk.h"
 #include "io/virtio_blk.h"
 #include "io/virtio_net.h"
 #include "stats/table.h"
-#include "system/nested_system.h"
-#include "system/trace_session.h"
+#include "system/bench_harness.h"
 #include "workloads/diskbench.h"
 #include "workloads/netperf.h"
 
@@ -32,47 +31,42 @@ using namespace svtsim;
 
 namespace {
 
-struct IoNumbers
+void
+runNet(NestedSystem &sys, ScenarioResult &r)
 {
-    double net_lat_us;
-    double net_bw_mbps;
-    double rd_lat_us;
-    double rd_bw_kbps;
-    double wr_lat_us;
-    double wr_bw_kbps;
-};
+    NetFabric fabric(sys.machine(),
+                     sys.machine().costs().wireLatency,
+                     sys.machine().costs().linkBitsPerSec);
+    VirtioNetStack net(sys.stack(), fabric);
+    Netperf netperf(sys.stack(), net, fabric);
+    r.record("net_lat_us", netperf.runRr(1, 1, 60).meanUsec);
+    r.record("net_bw_mbps", netperf.runStream(16384, msec(40)).mbps);
+}
 
-IoNumbers
-measure(VirtMode mode, const std::string &trace_path)
+void
+runDisk(NestedSystem &sys, ScenarioResult &r)
 {
-    IoNumbers n{};
-    {
-        NestedSystem sys(mode);
-        ScopedTrace trace(sys.machine(), trace_path,
-                          std::string(virtModeName(mode)) + "-net");
-        NetFabric fabric(sys.machine(),
-                         sys.machine().costs().wireLatency,
-                         sys.machine().costs().linkBitsPerSec);
-        VirtioNetStack net(sys.stack(), fabric);
-        Netperf netperf(sys.stack(), net, fabric);
-        n.net_lat_us = netperf.runRr(1, 1, 60).meanUsec;
-        n.net_bw_mbps =
-            netperf.runStream(16384, msec(40)).mbps;
-    }
-    {
-        NestedSystem sys(mode);
-        ScopedTrace trace(sys.machine(), trace_path,
-                          std::string(virtModeName(mode)) + "-disk");
-        RamDisk disk(sys.machine(), "ramdisk");
-        VirtioBlkStack blk(sys.stack(), disk);
-        IoPing ioping(sys.stack(), blk);
-        Fio fio(sys.stack(), blk);
-        n.rd_lat_us = ioping.run(512, false, 60).meanUsec;
-        n.wr_lat_us = ioping.run(512, true, 60).meanUsec;
-        n.rd_bw_kbps = fio.run(4096, false, 4, msec(60)).kbPerSec;
-        n.wr_bw_kbps = fio.run(4096, true, 4, msec(60)).kbPerSec;
-    }
-    return n;
+    RamDisk disk(sys.machine(), "ramdisk");
+    VirtioBlkStack blk(sys.stack(), disk);
+    IoPing ioping(sys.stack(), blk);
+    Fio fio(sys.stack(), blk);
+    r.record("rd_lat_us", ioping.run(512, false, 60).meanUsec);
+    r.record("wr_lat_us", ioping.run(512, true, 60).meanUsec);
+    r.record("rd_bw_kbps", fio.run(4096, false, 4, msec(60)).kbPerSec);
+    r.record("wr_bw_kbps", fio.run(4096, true, 4, msec(60)).kbPerSec);
+}
+
+/** The paper's analytical-model methodology: the CPU-bound stream
+ *  bandwidth on a hypothetical 4x faster link (no line-rate clamp). */
+void
+runCpuBound(NestedSystem &sys, ScenarioResult &r)
+{
+    NetFabric fabric(sys.machine(),
+                     sys.machine().costs().wireLatency,
+                     4 * sys.machine().costs().linkBitsPerSec);
+    VirtioNetStack net(sys.stack(), fabric);
+    Netperf netperf(sys.stack(), net, fabric);
+    r.record("cpu_bw_mbps", netperf.runStream(16384, msec(30)).mbps);
 }
 
 } // namespace
@@ -80,62 +74,96 @@ measure(VirtMode mode, const std::string &trace_path)
 int
 main(int argc, char **argv)
 {
-    std::string trace_path = parseTraceFlag(argc, argv);
-    IoNumbers base = measure(VirtMode::Nested, trace_path);
-    IoNumbers sw = measure(VirtMode::SwSvt, trace_path);
-    IoNumbers hw = measure(VirtMode::HwSvt, trace_path);
+    const VirtMode modes[] = {VirtMode::Nested, VirtMode::SwSvt,
+                              VirtMode::HwSvt};
 
-    Table t({"Benchmark", "Baseline", "SW SVt", "HW SVt",
-             "Paper base", "Paper SW", "Paper HW"});
+    BenchHarness bench(
+        "fig7_io", "Figure 7: speedup of SVt on the I/O subsystems");
+    for (VirtMode mode : modes) {
+        bench.add(std::string(virtModeName(mode)) + "-net", mode,
+                  runNet);
+        bench.add(std::string(virtModeName(mode)) + "-disk", mode,
+                  runDisk);
+    }
+    for (VirtMode mode : {VirtMode::Nested, VirtMode::HwSvt}) {
+        bench.add(std::string(virtModeName(mode)) + "-cpu4x", mode,
+                  runCpuBound);
+    }
 
-    auto row = [&](const char *name, double b, double s, double h,
-                   bool higher_better, double pb, double ps,
-                   double ph) {
-        double ss = higher_better ? s / b : b / s;
-        double hs = higher_better ? h / b : b / h;
-        t.addRow({name, Table::num(b, 1),
-                  Table::num(ss, 2) + "x", Table::num(hs, 2) + "x",
-                  Table::num(pb, 0), Table::num(ps, 2) + "x",
-                  Table::num(ph, 2) + "x"});
-    };
+    bench.onReport([&](const SweepResults &res) {
+        auto net = [&](VirtMode m, const char *key) {
+            return res.metric(std::string(virtModeName(m)) + "-net",
+                              key);
+        };
+        auto disk = [&](VirtMode m, const char *key) {
+            return res.metric(std::string(virtModeName(m)) + "-disk",
+                              key);
+        };
 
-    row("Network latency (us)", base.net_lat_us, sw.net_lat_us,
-        hw.net_lat_us, false, 163, 1.10, 2.38);
-    row("Network bandwidth (Mbps)", base.net_bw_mbps, sw.net_bw_mbps,
-        hw.net_bw_mbps, true, 9387, 1.00, 1.12);
-    row("Disk randrd latency (us)", base.rd_lat_us, sw.rd_lat_us,
-        hw.rd_lat_us, false, 126, 1.30, 2.18);
-    row("Disk randrd bandwidth (KB/s)", base.rd_bw_kbps,
-        sw.rd_bw_kbps, hw.rd_bw_kbps, true, 87136, 1.55, 2.31);
-    row("Disk randwr latency (us)", base.wr_lat_us, sw.wr_lat_us,
-        hw.wr_lat_us, false, 179, 1.05, 2.26);
-    row("Disk randwr bandwidth (KB/s)", base.wr_bw_kbps,
-        sw.wr_bw_kbps, hw.wr_bw_kbps, true, 55769, 1.18, 2.60);
+        Table t({"Benchmark", "Baseline", "SW SVt", "HW SVt",
+                 "Paper base", "Paper SW", "Paper HW"});
+        auto row = [&](const char *name, double b, double s, double h,
+                       bool higher_better, double pb, double ps,
+                       double ph) {
+            double ss = higher_better ? s / b : b / s;
+            double hs = higher_better ? h / b : b / h;
+            t.addRow({name, Table::num(b, 1),
+                      Table::num(ss, 2) + "x",
+                      Table::num(hs, 2) + "x", Table::num(pb, 0),
+                      Table::num(ps, 2) + "x",
+                      Table::num(ph, 2) + "x"});
+        };
 
-    std::printf("Figure 7: speedup of SVt on the I/O subsystems\n\n%s\n",
-                t.render().c_str());
+        row("Network latency (us)",
+            net(VirtMode::Nested, "net_lat_us"),
+            net(VirtMode::SwSvt, "net_lat_us"),
+            net(VirtMode::HwSvt, "net_lat_us"), false, 163, 1.10,
+            2.38);
+        row("Network bandwidth (Mbps)",
+            net(VirtMode::Nested, "net_bw_mbps"),
+            net(VirtMode::SwSvt, "net_bw_mbps"),
+            net(VirtMode::HwSvt, "net_bw_mbps"), true, 9387, 1.00,
+            1.12);
+        row("Disk randrd latency (us)",
+            disk(VirtMode::Nested, "rd_lat_us"),
+            disk(VirtMode::SwSvt, "rd_lat_us"),
+            disk(VirtMode::HwSvt, "rd_lat_us"), false, 126, 1.30,
+            2.18);
+        row("Disk randrd bandwidth (KB/s)",
+            disk(VirtMode::Nested, "rd_bw_kbps"),
+            disk(VirtMode::SwSvt, "rd_bw_kbps"),
+            disk(VirtMode::HwSvt, "rd_bw_kbps"), true, 87136, 1.55,
+            2.31);
+        row("Disk randwr latency (us)",
+            disk(VirtMode::Nested, "wr_lat_us"),
+            disk(VirtMode::SwSvt, "wr_lat_us"),
+            disk(VirtMode::HwSvt, "wr_lat_us"), false, 179, 1.05,
+            2.26);
+        row("Disk randwr bandwidth (KB/s)",
+            disk(VirtMode::Nested, "wr_bw_kbps"),
+            disk(VirtMode::SwSvt, "wr_bw_kbps"),
+            disk(VirtMode::HwSvt, "wr_bw_kbps"), true, 55769, 1.18,
+            2.60);
 
-    // The paper's HW SVt network-bandwidth number (1.12x) comes from
-    // an analytical model that ignores the physical line rate
-    // (9387 x 1.12 > 10 GbE). Reproduce that methodology: measure the
-    // CPU-bound speedup on a hypothetical faster link and scale the
-    // baseline by it.
-    auto cpu_bound_mbps = [](VirtMode mode) {
-        NestedSystem sys(mode);
-        NetFabric fabric(sys.machine(),
-                         sys.machine().costs().wireLatency,
-                         4 * sys.machine().costs().linkBitsPerSec);
-        VirtioNetStack net(sys.stack(), fabric);
-        Netperf netperf(sys.stack(), net, fabric);
-        return netperf.runStream(16384, msec(30)).mbps;
-    };
-    double model_ratio = cpu_bound_mbps(VirtMode::HwSvt) /
-                         cpu_bound_mbps(VirtMode::Nested);
-    std::printf("Network bandwidth, paper's analytical HW SVt model "
-                "(no line-rate clamp):\n"
-                "  %.0f Mbps x %.2f = %.0f Mbps   (paper: 9387 x 1.12 "
-                "= 10513 Mbps)\n",
-                base.net_bw_mbps, model_ratio,
-                base.net_bw_mbps * model_ratio);
-    return 0;
+        std::printf("Figure 7: speedup of SVt on the I/O "
+                    "subsystems\n\n%s\n",
+                    t.render().c_str());
+
+        // The paper's HW SVt network-bandwidth number (1.12x) comes
+        // from an analytical model that ignores the physical line
+        // rate (9387 x 1.12 > 10 GbE). Reproduce that methodology:
+        // the CPU-bound speedup on a hypothetical faster link scales
+        // the measured baseline.
+        double base_bw = net(VirtMode::Nested, "net_bw_mbps");
+        double model_ratio =
+            res.metric("hw-svt-cpu4x", "cpu_bw_mbps") /
+            res.metric("nested-baseline-cpu4x", "cpu_bw_mbps");
+        std::printf(
+            "Network bandwidth, paper's analytical HW SVt model "
+            "(no line-rate clamp):\n"
+            "  %.0f Mbps x %.2f = %.0f Mbps   (paper: 9387 x 1.12 "
+            "= 10513 Mbps)\n",
+            base_bw, model_ratio, base_bw * model_ratio);
+    });
+    return bench.main(argc, argv);
 }

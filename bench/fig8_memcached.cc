@@ -8,13 +8,14 @@
  * average-latency SLA.
  */
 
+#include <algorithm>
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "io/virtio_net.h"
 #include "stats/table.h"
-#include "system/nested_system.h"
-#include "system/trace_session.h"
+#include "system/bench_harness.h"
 #include "workloads/memcached.h"
 
 using namespace svtsim;
@@ -23,44 +24,26 @@ namespace {
 
 constexpr double slaUsec = 500.0;
 
-struct Curve
+std::string
+pointName(VirtMode mode, double qps)
 {
-    std::vector<MemcachedPoint> points;
+    return std::string(virtModeName(mode)) + "-" +
+           std::to_string(static_cast<int>(qps)) + "qps";
+}
 
-    /** Highest achieved qps whose metric stays within the SLA. */
-    double
-    slaThroughput(bool p99) const
-    {
-        double best = 0;
-        for (const auto &pt : points) {
-            double metric = p99 ? pt.p99Usec : pt.avgUsec;
-            if (metric > 0 && metric <= slaUsec)
-                best = std::max(best, pt.achievedQps);
-        }
-        return best;
-    }
-};
-
-Curve
-sweep(VirtMode mode, const std::vector<double> &loads,
-      const std::string &trace_path)
+/** Highest offered load whose metric stays within the SLA. */
+double
+slaThroughput(const SweepResults &res, VirtMode mode,
+              const std::vector<double> &loads, const char *key)
 {
-    Curve curve;
+    double best = 0;
     for (double qps : loads) {
-        NestedSystem sys(mode);
-        ScopedTrace trace(
-            sys.machine(), trace_path,
-            std::string(virtModeName(mode)) + "-" +
-                std::to_string(static_cast<int>(qps)) + "qps");
-        NetFabric fabric(sys.machine(),
-                         sys.machine().costs().wireLatency,
-                         sys.machine().costs().linkBitsPerSec);
-        VirtioNetStack net(sys.stack(), fabric);
-        MemcachedBench bench(sys.stack(), net, fabric);
-        curve.points.push_back(
-            bench.runLoad(qps, msec(300)));
+        const auto &r = res.at(pointName(mode, qps));
+        double metric = r.metric(key);
+        if (metric > 0 && metric <= slaUsec)
+            best = std::max(best, r.metric("achieved_qps"));
     }
-    return curve;
+    return best;
 }
 
 } // namespace
@@ -68,39 +51,65 @@ sweep(VirtMode mode, const std::vector<double> &loads,
 int
 main(int argc, char **argv)
 {
-    std::string trace_path = parseTraceFlag(argc, argv);
     std::vector<double> loads;
     for (double q = 2000; q <= 26000; q += 1500)
         loads.push_back(q);
 
-    Curve base = sweep(VirtMode::Nested, loads, trace_path);
-    Curve svt = sweep(VirtMode::SwSvt, loads, trace_path);
-
-    Table t({"Offered (qps)", "base avg (us)", "base p99 (us)",
-             "SVt avg (us)", "SVt p99 (us)"});
-    for (std::size_t i = 0; i < loads.size(); ++i) {
-        t.addRow({Table::num(loads[i], 0),
-                  Table::num(base.points[i].avgUsec, 0),
-                  Table::num(base.points[i].p99Usec, 0),
-                  Table::num(svt.points[i].avgUsec, 0),
-                  Table::num(svt.points[i].p99Usec, 0)});
+    BenchHarness bench("fig8_memcached",
+                       "Figure 8: memcached latency vs request load "
+                       "(ETC workload)");
+    for (VirtMode mode : {VirtMode::Nested, VirtMode::SwSvt}) {
+        for (double qps : loads) {
+            bench.add(pointName(mode, qps), mode,
+                      [qps](NestedSystem &sys, ScenarioResult &r) {
+                          NetFabric fabric(
+                              sys.machine(),
+                              sys.machine().costs().wireLatency,
+                              sys.machine().costs().linkBitsPerSec);
+                          VirtioNetStack net(sys.stack(), fabric);
+                          MemcachedBench mc(sys.stack(), net, fabric);
+                          MemcachedPoint pt =
+                              mc.runLoad(qps, msec(300));
+                          r.record("avg_usec", pt.avgUsec);
+                          r.record("p99_usec", pt.p99Usec);
+                          r.record("achieved_qps", pt.achievedQps);
+                      });
+        }
     }
-    std::printf("Figure 8: memcached latency vs request load "
-                "(ETC workload)\n\n%s\n",
-                t.render().c_str());
 
-    double base_p99 = base.slaThroughput(true);
-    double svt_p99 = svt.slaThroughput(true);
-    double base_avg = base.slaThroughput(false);
-    double svt_avg = svt.slaThroughput(false);
-    std::printf("throughput within %.0f us SLA:\n", slaUsec);
-    std::printf("  p99: baseline %.0f qps, SVt %.0f qps -> %.2fx "
-                "(paper: 2.20x)\n",
-                base_p99, svt_p99,
-                base_p99 > 0 ? svt_p99 / base_p99 : 0.0);
-    std::printf("  avg: baseline %.0f qps, SVt %.0f qps -> %.2fx "
-                "(paper: 1.43x)\n",
-                base_avg, svt_avg,
-                base_avg > 0 ? svt_avg / base_avg : 0.0);
-    return 0;
+    bench.onReport([&](const SweepResults &res) {
+        Table t({"Offered (qps)", "base avg (us)", "base p99 (us)",
+                 "SVt avg (us)", "SVt p99 (us)"});
+        for (double qps : loads) {
+            const auto &base = res.at(pointName(VirtMode::Nested, qps));
+            const auto &svt = res.at(pointName(VirtMode::SwSvt, qps));
+            t.addRow({Table::num(qps, 0),
+                      Table::num(base.metric("avg_usec"), 0),
+                      Table::num(base.metric("p99_usec"), 0),
+                      Table::num(svt.metric("avg_usec"), 0),
+                      Table::num(svt.metric("p99_usec"), 0)});
+        }
+        std::printf("Figure 8: memcached latency vs request load "
+                    "(ETC workload)\n\n%s\n",
+                    t.render().c_str());
+
+        double base_p99 =
+            slaThroughput(res, VirtMode::Nested, loads, "p99_usec");
+        double svt_p99 =
+            slaThroughput(res, VirtMode::SwSvt, loads, "p99_usec");
+        double base_avg =
+            slaThroughput(res, VirtMode::Nested, loads, "avg_usec");
+        double svt_avg =
+            slaThroughput(res, VirtMode::SwSvt, loads, "avg_usec");
+        std::printf("throughput within %.0f us SLA:\n", slaUsec);
+        std::printf("  p99: baseline %.0f qps, SVt %.0f qps -> %.2fx "
+                    "(paper: 2.20x)\n",
+                    base_p99, svt_p99,
+                    base_p99 > 0 ? svt_p99 / base_p99 : 0.0);
+        std::printf("  avg: baseline %.0f qps, SVt %.0f qps -> %.2fx "
+                    "(paper: 1.43x)\n",
+                    base_avg, svt_avg,
+                    base_avg > 0 ? svt_avg / base_avg : 0.0);
+    });
+    return bench.main(argc, argv);
 }

@@ -12,26 +12,26 @@
 #include "io/virtio_blk.h"
 #include "io/virtio_net.h"
 #include "stats/table.h"
-#include "system/nested_system.h"
-#include "system/trace_session.h"
+#include "system/bench_harness.h"
 #include "workloads/tpcc.h"
 
 using namespace svtsim;
 
 namespace {
 
-TpccResult
-measure(VirtMode mode, const std::string &trace_path)
+void
+runTpcc(NestedSystem &sys, ScenarioResult &r)
 {
-    NestedSystem sys(mode);
-    ScopedTrace trace(sys.machine(), trace_path, virtModeName(mode));
-    NetFabric fabric(sys.machine(), sys.machine().costs().wireLatency,
+    NetFabric fabric(sys.machine(),
+                     sys.machine().costs().wireLatency,
                      sys.machine().costs().linkBitsPerSec);
     VirtioNetStack net(sys.stack(), fabric);
     RamDisk disk(sys.machine(), "pgdata");
     VirtioBlkStack blk(sys.stack(), disk);
     Tpcc tpcc(sys.stack(), net, fabric, blk);
-    return tpcc.run(sec(2));
+    TpccResult t = tpcc.run(sec(2));
+    r.record("tpm", t.tpm);
+    r.record("mean_txn_msec", t.meanTxnMsec);
 }
 
 } // namespace
@@ -39,22 +39,38 @@ measure(VirtMode mode, const std::string &trace_path)
 int
 main(int argc, char **argv)
 {
-    std::string trace_path = parseTraceFlag(argc, argv);
-    TpccResult base = measure(VirtMode::Nested, trace_path);
-    TpccResult sw = measure(VirtMode::SwSvt, trace_path);
-    TpccResult hw = measure(VirtMode::HwSvt, trace_path);
+    BenchHarness bench("fig9_tpcc",
+                       "Figure 9: TPC-C + PostgreSQL throughput");
+    bench.add("baseline", VirtMode::Nested, runTpcc);
+    bench.add("sw-svt", VirtMode::SwSvt, runTpcc);
+    bench.add("hw-svt", VirtMode::HwSvt, runTpcc);
 
-    Table t({"System", "Ktpm", "Mean txn (ms)", "Speedup", "Paper"});
-    t.addRow({"Baseline", Table::num(base.tpm / 1000.0, 2),
-              Table::num(base.meanTxnMsec, 2), "-", "6.37 Ktpm"});
-    t.addRow({"SW SVt", Table::num(sw.tpm / 1000.0, 2),
-              Table::num(sw.meanTxnMsec, 2),
-              Table::num(sw.tpm / base.tpm, 2) + "x", "1.18x"});
-    t.addRow({"HW SVt", Table::num(hw.tpm / 1000.0, 2),
-              Table::num(hw.meanTxnMsec, 2),
-              Table::num(hw.tpm / base.tpm, 2) + "x", "(modeled)"});
-
-    std::printf("Figure 9: TPC-C + PostgreSQL throughput\n\n%s\n",
-                t.render().c_str());
-    return 0;
+    bench.onReport([](const SweepResults &res) {
+        double base_tpm = res.metric("baseline", "tpm");
+        Table t({"System", "Ktpm", "Mean txn (ms)", "Speedup",
+                 "Paper"});
+        t.addRow({"Baseline", Table::num(base_tpm / 1000.0, 2),
+                  Table::num(res.metric("baseline", "mean_txn_msec"),
+                             2),
+                  "-", "6.37 Ktpm"});
+        t.addRow({"SW SVt",
+                  Table::num(res.metric("sw-svt", "tpm") / 1000.0, 2),
+                  Table::num(res.metric("sw-svt", "mean_txn_msec"),
+                             2),
+                  Table::num(res.metric("sw-svt", "tpm") / base_tpm,
+                             2) +
+                      "x",
+                  "1.18x"});
+        t.addRow({"HW SVt",
+                  Table::num(res.metric("hw-svt", "tpm") / 1000.0, 2),
+                  Table::num(res.metric("hw-svt", "mean_txn_msec"),
+                             2),
+                  Table::num(res.metric("hw-svt", "tpm") / base_tpm,
+                             2) +
+                      "x",
+                  "(modeled)"});
+        std::printf("Figure 9: TPC-C + PostgreSQL throughput\n\n%s\n",
+                    t.render().c_str());
+    });
+    return bench.main(argc, argv);
 }

@@ -10,6 +10,7 @@
 
 #include "io/ramdisk.h"
 #include "io/virtio_blk.h"
+#include "system/bench_harness.h"
 #include "system/nested_system.h"
 #include "virt/ept.h"
 #include "virt/vmcs.h"
@@ -93,4 +94,24 @@ BENCHMARK(BM_DiskRequestRound);
 
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    // Wall-clock benchmarks are not a deterministic sweep; the
+    // harness owns the common flag surface and forwards the rest
+    // (--benchmark_filter and friends) to google-benchmark.
+    BenchHarness bench("primitives_gbench",
+                       "google-benchmark micro-benchmarks of the "
+                       "simulator's hot primitives (wall clock)");
+    bench.onCustomMain(
+        [](int fwd_argc, char **fwd_argv, const BenchOptions &) {
+            benchmark::Initialize(&fwd_argc, fwd_argv);
+            if (benchmark::ReportUnrecognizedArguments(fwd_argc,
+                                                       fwd_argv))
+                return 1;
+            benchmark::RunSpecifiedBenchmarks();
+            benchmark::Shutdown();
+            return 0;
+        });
+    return bench.main(argc, argv);
+}

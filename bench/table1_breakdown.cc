@@ -13,15 +13,32 @@
 
 #include "stats/confidence.h"
 #include "stats/table.h"
-#include "system/nested_system.h"
-#include "system/trace_session.h"
+#include "system/bench_harness.h"
 
 using namespace svtsim;
 
-int
-main(int argc, char **argv)
+namespace {
+
+struct Row
 {
-    NestedSystem sys(VirtMode::Nested);
+    const char *id;
+    const char *name;
+    const char *scope;
+    double paper_us;
+};
+
+const Row rows[] = {
+    {"0", "L2", "stage.l2", 0.05},
+    {"1", "Switch L2<->L0", "stage.switch_l2_l0", 0.81},
+    {"2", "Transform vmcs02/vmcs12", "stage.transform", 1.29},
+    {"3", "L0 handler", "stage.l0_handler", 4.89},
+    {"4", "Switch L0<->L1", "stage.switch_l0_l1", 1.40},
+    {"5", "L1 handler", "stage.l1_handler", 1.96},
+};
+
+void
+runBreakdown(NestedSystem &sys, ScenarioResult &r)
+{
     GuestApi &api = sys.api();
     Machine &machine = sys.machine();
 
@@ -30,7 +47,6 @@ main(int argc, char **argv)
     for (int i = 0; i < 8; ++i)
         api.cpuid(1);
     machine.resetAttribution();
-    ScopedTrace trace(machine, parseTraceFlag(argc, argv));
 
     ConfidenceRunner runner;
     auto result = runner.run([&]() -> double {
@@ -39,49 +55,49 @@ main(int argc, char **argv)
         return toUsec(machine.now() - t0);
     });
 
-    double iters = static_cast<double>(result.accepted +
-                                       result.rejected);
-    auto stage_us = [&](const char *name) {
-        return toUsec(machine.scopeTotal(name)) / iters;
-    };
+    double iters =
+        static_cast<double>(result.accepted + result.rejected);
+    for (const Row &row : rows)
+        r.record(row.scope,
+                 toUsec(machine.scopeTotal(row.scope)) / iters);
+    r.record("samples", static_cast<double>(result.accepted));
+    r.record("stddev_us", result.stddev);
+}
 
-    struct Row
-    {
-        const char *id;
-        const char *name;
-        const char *scope;
-        double paper_us;
-    };
-    const Row rows[] = {
-        {"0", "L2", "stage.l2", 0.05},
-        {"1", "Switch L2<->L0", "stage.switch_l2_l0", 0.81},
-        {"2", "Transform vmcs02/vmcs12", "stage.transform", 1.29},
-        {"3", "L0 handler", "stage.l0_handler", 4.89},
-        {"4", "Switch L0<->L1", "stage.switch_l0_l1", 1.40},
-        {"5", "L1 handler", "stage.l1_handler", 1.96},
-    };
+} // namespace
 
-    double total = 0;
-    for (const auto &r : rows)
-        total += stage_us(r.scope);
+int
+main(int argc, char **argv)
+{
+    BenchHarness bench("table1_breakdown",
+                       "Table 1: time breakdown of a cpuid "
+                       "instruction in a nested VM");
+    bench.add("nested", VirtMode::Nested, runBreakdown);
 
-    Table table({"Part", "Stage", "Time (us)", "Perc. (%)",
-                 "Paper (us)", "Paper (%)"});
-    for (const auto &r : rows) {
-        double us = stage_us(r.scope);
-        table.addRow({r.id, r.name, Table::num(us, 2),
-                      Table::num(100.0 * us / total, 2),
-                      Table::num(r.paper_us, 2),
-                      Table::num(100.0 * r.paper_us / 10.40, 2)});
-    }
+    bench.onReport([](const SweepResults &res) {
+        const ScenarioResult &r = res.at("nested");
+        double total = 0;
+        for (const Row &row : rows)
+            total += r.metric(row.scope);
 
-    std::printf("Table 1: time breakdown of a cpuid instruction in a "
-                "nested VM\n\n%s\n",
-                table.render().c_str());
-    std::printf("total: %.2f us (paper: 10.40 us)   samples: %llu   "
-                "stddev: %.3f us\n",
-                total,
-                static_cast<unsigned long long>(result.accepted),
-                result.stddev);
-    return 0;
+        Table table({"Part", "Stage", "Time (us)", "Perc. (%)",
+                     "Paper (us)", "Paper (%)"});
+        for (const Row &row : rows) {
+            double us = r.metric(row.scope);
+            table.addRow({row.id, row.name, Table::num(us, 2),
+                          Table::num(100.0 * us / total, 2),
+                          Table::num(row.paper_us, 2),
+                          Table::num(100.0 * row.paper_us / 10.40,
+                                     2)});
+        }
+
+        std::printf("Table 1: time breakdown of a cpuid instruction "
+                    "in a nested VM\n\n%s\n",
+                    table.render().c_str());
+        std::printf("total: %.2f us (paper: 10.40 us)   samples: "
+                    "%.0f   stddev: %.3f us\n",
+                    total, r.metric("samples"),
+                    r.metric("stddev_us"));
+    });
+    return bench.main(argc, argv);
 }

@@ -95,6 +95,13 @@ class Machine
     // -- Event counters ----------------------------------------------------
     void count(const std::string &key, std::uint64_t n = 1);
     std::uint64_t counter(const std::string &key) const;
+
+    /**
+     * Allocate the next local-APIC id on this machine. Per-machine
+     * (not process-global) so concurrently constructed machines get
+     * identical, deterministic id sequences.
+     */
+    int allocApicId() { return nextApicId_++; }
     const std::map<std::string, std::uint64_t> &counters() const
     {
         return counters_;
@@ -113,6 +120,7 @@ class Machine
     std::vector<std::size_t> scopeSpans_;
     std::map<std::string, Ticks> buckets_;
     std::map<std::string, std::uint64_t> counters_;
+    int nextApicId_ = 1000;
 };
 
 /** RAII attribution scope. */

@@ -1,0 +1,76 @@
+#include "hv/stack_config.h"
+
+#include "sim/log.h"
+
+namespace svtsim {
+
+namespace {
+
+bool
+isSvtMode(VirtMode mode)
+{
+    return mode == VirtMode::SwSvt || mode == VirtMode::HwSvt;
+}
+
+bool
+isNestedMode(VirtMode mode)
+{
+    return mode == VirtMode::Nested || isSvtMode(mode);
+}
+
+} // namespace
+
+void
+validateStackConfig(const StackConfig &config)
+{
+    const char *mode = virtModeName(config.mode);
+
+    if (config.svtDirectReflect && config.mode != VirtMode::HwSvt) {
+        fatal("StackConfig: svtDirectReflect models the Section 3.1 "
+              "HW SVt level bypass and requires mode hw-svt (mode is "
+              "%s); clear svtDirectReflect or use VirtMode::HwSvt",
+              mode);
+    }
+
+    StackConfig defaults;
+    bool channel_tuned =
+        config.channel.mechanism != defaults.channel.mechanism ||
+        config.channel.placement != defaults.channel.placement;
+    if (channel_tuned && config.mode != VirtMode::SwSvt) {
+        fatal("StackConfig: channel (mechanism=%s, placement=%s) "
+              "tunes the SW SVt command rings, which mode %s does not "
+              "use; leave channel at its default or use "
+              "VirtMode::SwSvt",
+              waitMechanismName(config.channel.mechanism),
+              placementName(config.channel.placement), mode);
+    }
+
+    if (!config.svtBlockedFix && !isSvtMode(config.mode)) {
+        fatal("StackConfig: svtBlockedFix=false disables the Section "
+              "5.3 SVT_BLOCKED deadlock fix in the SVt trap path, but "
+              "mode %s has no SVt; use VirtMode::SwSvt or "
+              "VirtMode::HwSvt to study the deadlock",
+              mode);
+    }
+
+    if (!config.hwVmcsShadowing && !isNestedMode(config.mode)) {
+        fatal("StackConfig: hwVmcsShadowing only matters when a "
+              "nested L1 issues vmread/vmwrite, so it cannot be "
+              "disabled in mode %s; use a nested mode "
+              "(nested-baseline, sw-svt, hw-svt)",
+              mode);
+    }
+
+    if (config.eagerStateLoad && config.mode == VirtMode::Native) {
+        fatal("StackConfig: eagerStateLoad tunes VM-entry state "
+              "loading and native mode performs no VM entries; clear "
+              "eagerStateLoad or pick a virtualized mode");
+    }
+
+    if (config.coreIndex < 0) {
+        fatal("StackConfig: coreIndex must be non-negative (got %d)",
+              config.coreIndex);
+    }
+}
+
+} // namespace svtsim

@@ -64,6 +64,27 @@ struct StackConfig
     int coreIndex = 0;
 };
 
+/**
+ * Reject inconsistent knob combinations with an actionable FatalError
+ * instead of silently ignoring knobs that have no effect in the
+ * configured mode. Called by VirtStack and NestedSystem on
+ * construction; exposed so config producers (sweep scenario builders,
+ * future config-file loaders) can validate early.
+ *
+ * Rules:
+ *  - svtDirectReflect models the Section 3.1 HW SVt bypass: HwSvt only.
+ *  - channel tuning configures the SW SVt command rings: SwSvt only.
+ *  - svtBlockedFix=false disables the Section 5.3 deadlock fix in the
+ *    SVt trap path: requires an SVt mode (SwSvt or HwSvt).
+ *  - hwVmcsShadowing=false only changes behaviour when a nested L1
+ *    issues vmread/vmwrite: requires a nested mode.
+ *  - eagerStateLoad tunes VM-entry state loading: Native has no
+ *    VM entries.
+ *  - coreIndex must be non-negative (the upper bound is checked
+ *    against the actual machine by VirtStack).
+ */
+void validateStackConfig(const StackConfig &config);
+
 } // namespace svtsim
 
 #endif // SVTSIM_HV_STACK_CONFIG_H

@@ -2,16 +2,10 @@
 
 namespace svtsim {
 
-namespace {
-
-int nextVcpuApicId = 1000;
-
-} // namespace
-
 Vcpu::Vcpu(Machine &machine, std::string name)
     : name_(std::move(name)),
       lapic_(std::make_unique<Lapic>(machine.events(), machine.costs(),
-                                     nextVcpuApicId++))
+                                     machine.allocApicId()))
 {
 }
 

@@ -26,9 +26,26 @@ virtModeName(VirtMode mode)
     return "?";
 }
 
+namespace {
+
+/** Validate the config before any member construction touches it. */
+int
+checkedCoreIndex(Machine &machine, const StackConfig &config)
+{
+    validateStackConfig(config);
+    if (config.coreIndex >= machine.numCores()) {
+        fatal("StackConfig: coreIndex %d out of range; the machine "
+              "has %d cores",
+              config.coreIndex, machine.numCores());
+    }
+    return config.coreIndex;
+}
+
+} // namespace
+
 VirtStack::VirtStack(Machine &machine, StackConfig config)
     : machine_(machine), config_(config),
-      core_(machine.core(config.coreIndex))
+      core_(machine.core(checkedCoreIndex(machine, config)))
 {
     setupCommon();
     switch (config_.mode) {

@@ -1,5 +1,6 @@
 #include "sim/log.h"
 
+#include <atomic>
 #include <cstdarg>
 #include <cstdio>
 #include <vector>
@@ -8,20 +9,22 @@ namespace svtsim {
 
 namespace {
 
-LogLevel g_level = LogLevel::Warn;
+/** Atomic so parallel sweep workers can warn() while another thread
+ *  adjusts verbosity without a data race. */
+std::atomic<LogLevel> g_level{LogLevel::Warn};
 
 } // namespace
 
 LogLevel
 logLevel()
 {
-    return g_level;
+    return g_level.load(std::memory_order_relaxed);
 }
 
 void
 setLogLevel(LogLevel level)
 {
-    g_level = level;
+    g_level.store(level, std::memory_order_relaxed);
 }
 
 namespace log_detail {
@@ -50,14 +53,14 @@ format(const char *fmt, ...)
 void
 warn(const std::string &msg)
 {
-    if (g_level >= LogLevel::Warn)
+    if (logLevel() >= LogLevel::Warn)
         std::fprintf(stderr, "warn: %s\n", msg.c_str());
 }
 
 void
 inform(const std::string &msg)
 {
-    if (g_level >= LogLevel::Inform)
+    if (logLevel() >= LogLevel::Inform)
         std::fprintf(stderr, "info: %s\n", msg.c_str());
 }
 

@@ -1,0 +1,264 @@
+#include "system/bench_harness.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <ostream>
+
+#include "sim/log.h"
+#include "sim/worker_pool.h"
+
+namespace svtsim {
+
+namespace {
+
+/** Minimal JSON string escaping (names are ASCII identifiers). */
+void
+jsonString(std::ostream &os, const std::string &s)
+{
+    os << '"';
+    for (char c : s) {
+        switch (c) {
+          case '"': os << "\\\""; break;
+          case '\\': os << "\\\\"; break;
+          case '\n': os << "\\n"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20)
+                os << ' ';
+            else
+                os << c;
+        }
+    }
+    os << '"';
+}
+
+/** Shortest round-trippable double representation; deterministic
+ *  across worker counts because the values themselves are. */
+std::string
+jsonNumber(double v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    return buf;
+}
+
+bool
+parseUint(const std::string &text, std::uint64_t &out)
+{
+    if (text.empty())
+        return false;
+    char *end = nullptr;
+    errno = 0;
+    unsigned long long v = std::strtoull(text.c_str(), &end, 0);
+    if (errno != 0 || end == nullptr || *end != '\0')
+        return false;
+    out = v;
+    return true;
+}
+
+} // namespace
+
+BenchHarness::BenchHarness(std::string name, std::string title)
+    : name_(std::move(name)), title_(std::move(title))
+{
+}
+
+Scenario &
+BenchHarness::add(Scenario scenario)
+{
+    scenarios_.push_back(std::move(scenario));
+    return scenarios_.back();
+}
+
+Scenario &
+BenchHarness::add(std::string name, VirtMode mode, ScenarioFn run)
+{
+    return add(std::move(name), mode, StackConfig{}, std::move(run));
+}
+
+Scenario &
+BenchHarness::add(std::string name, VirtMode mode, StackConfig config,
+                  ScenarioFn run)
+{
+    Scenario s;
+    s.name = std::move(name);
+    s.mode = mode;
+    s.config = config;
+    s.run = std::move(run);
+    return add(std::move(s));
+}
+
+int
+BenchHarness::usage(std::ostream &os, int status) const
+{
+    os << "usage: " << name_
+       << " [--jobs=N] [--seed=S] [--trace=FILE] [--json=FILE]"
+          " [--list]\n\n"
+       << title_ << "\n\n"
+       << "  --jobs=N      run scenarios on N worker threads\n"
+       << "                (0 = one per hardware thread; default 1)\n"
+       << "  --seed=S      base seed for every scenario's "
+          "NestedSystem (default 1)\n"
+       << "  --trace=FILE  export per-scenario Chrome trace JSON and "
+          "a CSV summary\n"
+       << "  --json=FILE   write machine-readable results "
+          "(\"-\" = stdout)\n"
+       << "  --list        list scenarios and exit\n"
+       << "  --help        this text\n";
+    if (customMain_)
+        os << "\nremaining arguments are forwarded to the underlying "
+              "benchmark runner\n";
+    return status;
+}
+
+void
+BenchHarness::writeJson(std::ostream &os, const SweepResults &results,
+                        const BenchOptions &options) const
+{
+    // --jobs is deliberately absent: the JSON is a *result* artifact
+    // and must be byte-identical regardless of the worker count.
+    os << "{\n  \"bench\": ";
+    jsonString(os, name_);
+    os << ",\n  \"title\": ";
+    jsonString(os, title_);
+    os << ",\n  \"seed\": " << options.seed;
+    os << ",\n  \"scenarios\": [";
+    bool first_scenario = true;
+    for (const auto &r : results.all()) {
+        os << (first_scenario ? "\n" : ",\n");
+        first_scenario = false;
+        os << "    {\"name\": ";
+        jsonString(os, r.name());
+        os << ", \"mode\": ";
+        jsonString(os, virtModeName(r.mode()));
+        os << ", \"seed\": " << r.seed();
+        os << ", \"final_ticks\": " << r.finalTicks();
+        if (!r.ok()) {
+            os << ", \"error\": ";
+            jsonString(os, r.error());
+        }
+        os << ", \"metrics\": {";
+        bool first_metric = true;
+        for (const auto &[key, value] : r.metrics()) {
+            if (!first_metric)
+                os << ", ";
+            first_metric = false;
+            jsonString(os, key);
+            os << ": " << jsonNumber(value);
+        }
+        os << "}}";
+    }
+    os << "\n  ]\n}\n";
+}
+
+int
+BenchHarness::main(int argc, char **argv)
+{
+    BenchOptions options;
+    std::vector<char *> forwarded;
+    if (argc > 0)
+        forwarded.push_back(argv[0]);
+    bool list_only = false;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto value = [&](const char *prefix) -> std::string {
+            return arg.substr(std::string(prefix).size());
+        };
+        if (arg == "--help" || arg == "-h") {
+            usage(std::cout, 0);
+            return 0;
+        } else if (arg == "--list") {
+            list_only = true;
+        } else if (arg.rfind("--jobs=", 0) == 0) {
+            std::uint64_t n = 0;
+            if (!parseUint(value("--jobs="), n) || n > 4096) {
+                std::cerr << name_ << ": bad --jobs value '"
+                          << value("--jobs=") << "'\n";
+                return usage(std::cerr, 2);
+            }
+            options.jobs = n == 0 ? WorkerPool::defaultWorkers()
+                                  : static_cast<int>(n);
+        } else if (arg.rfind("--seed=", 0) == 0) {
+            if (!parseUint(value("--seed="), options.seed)) {
+                std::cerr << name_ << ": bad --seed value '"
+                          << value("--seed=") << "'\n";
+                return usage(std::cerr, 2);
+            }
+        } else if (arg.rfind("--trace=", 0) == 0) {
+            options.tracePath = value("--trace=");
+        } else if (arg.rfind("--json=", 0) == 0) {
+            options.jsonPath = value("--json=");
+        } else if (customMain_) {
+            forwarded.push_back(argv[i]);
+        } else {
+            std::cerr << name_ << ": unknown argument '" << arg
+                      << "'\n";
+            return usage(std::cerr, 2);
+        }
+    }
+
+    if (list_only) {
+        std::cout << name_ << ": " << title_ << "\n";
+        for (const auto &s : scenarios_)
+            std::cout << "  " << s.name << "  ["
+                      << virtModeName(s.mode) << "]\n";
+        return 0;
+    }
+
+    if (customMain_) {
+        return customMain_(static_cast<int>(forwarded.size()),
+                           forwarded.data(), options);
+    }
+
+    SweepOptions sweep_options;
+    sweep_options.jobs = options.jobs;
+    sweep_options.baseSeed = options.seed;
+    sweep_options.tracePath = options.tracePath;
+
+    SweepResults results;
+    try {
+        results = runSweep(scenarios_, sweep_options);
+    } catch (const SimError &e) {
+        std::cerr << name_ << ": " << e.what() << "\n";
+        return 1;
+    }
+
+    if (!options.jsonPath.empty()) {
+        if (options.jsonPath == "-") {
+            writeJson(std::cout, results, options);
+        } else {
+            std::ofstream out(options.jsonPath);
+            if (!out) {
+                std::cerr << name_ << ": cannot write "
+                          << options.jsonPath << "\n";
+                return 1;
+            }
+            writeJson(out, results, options);
+        }
+    }
+
+    if (!results.allOk()) {
+        for (const auto &r : results.all()) {
+            if (!r.ok())
+                std::cerr << name_ << ": scenario '" << r.name()
+                          << "' failed: " << r.error() << "\n";
+        }
+        return 1;
+    }
+
+    if (report_) {
+        try {
+            report_(results);
+        } catch (const SimError &e) {
+            std::cerr << name_ << ": report failed: " << e.what()
+                      << "\n";
+            return 1;
+        }
+    }
+    return 0;
+}
+
+} // namespace svtsim

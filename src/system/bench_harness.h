@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Unified bench entry point.
+ *
+ * Every bench binary declares its scenarios (the sweep) and a report
+ * callback (the tables), then delegates main() to a BenchHarness. The
+ * harness owns the whole CLI surface — `--jobs`, `--seed`, `--trace`,
+ * `--json`, `--list`, `--help` — runs the sweep on the deterministic
+ * parallel engine, writes machine-readable JSON results and invokes
+ * the report with results in declaration order. Output (tables, JSON,
+ * per-scenario tick counts) is byte-identical for any `--jobs` value.
+ *
+ * Benches that are not scenario sweeps (the google-benchmark wall
+ * clock micro-benchmarks) install a custom main instead; the harness
+ * still parses and strips its own flags and forwards the rest.
+ */
+
+#ifndef SVTSIM_SYSTEM_BENCH_HARNESS_H
+#define SVTSIM_SYSTEM_BENCH_HARNESS_H
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "system/sweep.h"
+
+namespace svtsim {
+
+/** Parsed harness CLI options. */
+struct BenchOptions
+{
+    /** --jobs=N: worker threads (0 = one per hardware thread). */
+    int jobs = 1;
+    /** --seed=S: base seed for every scenario's NestedSystem. */
+    std::uint64_t seed = 1;
+    /** --trace=FILE: per-scenario Chrome trace + CSV export. */
+    std::string tracePath;
+    /** --json=FILE: machine-readable results ("-" for stdout). */
+    std::string jsonPath;
+};
+
+/**
+ * Declarative bench definition plus the shared main() implementation.
+ */
+class BenchHarness
+{
+  public:
+    using ReportFn = std::function<void(const SweepResults &results)>;
+    using CustomMainFn = std::function<int(
+        int argc, char **argv, const BenchOptions &options)>;
+
+    /** @param name Bench identifier (JSON "bench" field).
+     *  @param title One-line description for --help/--list. */
+    BenchHarness(std::string name, std::string title);
+
+    /** Append a scenario; runs in declaration order. */
+    Scenario &add(Scenario scenario);
+
+    /** Shorthand for the common default-config case. */
+    Scenario &add(std::string name, VirtMode mode, ScenarioFn run);
+
+    /** Shorthand with a custom StackConfig. */
+    Scenario &add(std::string name, VirtMode mode, StackConfig config,
+                  ScenarioFn run);
+
+    /** Install the report callback (prints the human tables). */
+    void onReport(ReportFn fn) { report_ = std::move(fn); }
+
+    /**
+     * Replace the sweep with a custom main. The harness parses and
+     * strips its own flags; unrecognized arguments are forwarded (the
+     * google-benchmark bench owns them).
+     */
+    void onCustomMain(CustomMainFn fn) { customMain_ = std::move(fn); }
+
+    /**
+     * The shared main(): parse flags, run the sweep on `--jobs`
+     * workers, write JSON, report. Returns a process exit status:
+     * 0 on success, 1 when a scenario failed, 2 on a CLI error.
+     */
+    int main(int argc, char **argv);
+
+    const std::vector<Scenario> &scenarios() const
+    {
+        return scenarios_;
+    }
+
+    /** Serialize results as JSON (stable field and metric order). */
+    void writeJson(std::ostream &os, const SweepResults &results,
+                   const BenchOptions &options) const;
+
+  private:
+    int usage(std::ostream &os, int status) const;
+
+    std::string name_;
+    std::string title_;
+    std::vector<Scenario> scenarios_;
+    ReportFn report_;
+    CustomMainFn customMain_;
+};
+
+} // namespace svtsim
+
+#endif // SVTSIM_SYSTEM_BENCH_HARNESS_H

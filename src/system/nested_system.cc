@@ -22,8 +22,17 @@ NestedSystem::NestedSystem(VirtMode mode, StackConfig config,
                            std::uint64_t seed)
 {
     config.mode = mode;
+    validateStackConfig(config);
     machine_ = std::make_unique<Machine>(paperTopology(mode),
                                          paperCosts(), seed);
+    stack_ = std::make_unique<VirtStack>(*machine_, config);
+}
+
+NestedSystem::NestedSystem(const MachineTopology &topo,
+                           StackConfig config, std::uint64_t seed)
+{
+    validateStackConfig(config);
+    machine_ = std::make_unique<Machine>(topo, paperCosts(), seed);
     stack_ = std::make_unique<VirtStack>(*machine_, config);
 }
 

@@ -30,8 +30,15 @@ CostModel paperCosts();
 class NestedSystem
 {
   public:
+    /** Paper topology for @p mode; @p config's knobs are validated
+     *  (see validateStackConfig) and its mode overridden by @p mode. */
     explicit NestedSystem(VirtMode mode, StackConfig config = {},
                           std::uint64_t seed = 1);
+
+    /** Custom topology; the mode comes from @p config.mode (used by
+     *  the context-capacity ablation and topology sweeps). */
+    NestedSystem(const MachineTopology &topo, StackConfig config,
+                 std::uint64_t seed = 1);
 
     Machine &machine() { return *machine_; }
     VirtStack &stack() { return *stack_; }

@@ -1,0 +1,157 @@
+#include "system/sweep.h"
+
+#include <cstdio>
+#include <set>
+
+#include "sim/log.h"
+#include "sim/worker_pool.h"
+#include "system/trace_session.h"
+
+namespace svtsim {
+
+void
+ScenarioResult::record(const std::string &key, double value)
+{
+    for (auto &kv : metrics_) {
+        if (kv.first == key) {
+            kv.second = value;
+            return;
+        }
+    }
+    metrics_.emplace_back(key, value);
+}
+
+bool
+ScenarioResult::has(const std::string &key) const
+{
+    for (const auto &kv : metrics_) {
+        if (kv.first == key)
+            return true;
+    }
+    return false;
+}
+
+double
+ScenarioResult::metric(const std::string &key) const
+{
+    for (const auto &kv : metrics_) {
+        if (kv.first == key)
+            return kv.second;
+    }
+    fatal("scenario '%s' has no metric '%s'", name_.c_str(),
+          key.c_str());
+}
+
+const ScenarioResult &
+SweepResults::at(const std::string &name) const
+{
+    for (const auto &r : results_) {
+        if (r.name() == name)
+            return r;
+    }
+    fatal("sweep has no scenario '%s'", name.c_str());
+}
+
+bool
+SweepResults::allOk() const
+{
+    for (const auto &r : results_) {
+        if (!r.ok())
+            return false;
+    }
+    return true;
+}
+
+/** Internal executor; friend of the result types. */
+class SweepRunner
+{
+  public:
+    static SweepResults run(const std::vector<Scenario> &scenarios,
+                            const SweepOptions &options);
+
+  private:
+    /** Run one scenario into its slot; never throws (SimError is
+     *  captured on the result so pool tasks stay noexcept). */
+    static void runOne(const Scenario &scenario,
+                       const SweepOptions &options,
+                       ScenarioResult &result);
+};
+
+void
+SweepRunner::runOne(const Scenario &scenario,
+                    const SweepOptions &options, ScenarioResult &result)
+{
+    result.name_ = scenario.name;
+    result.mode_ = scenario.mode;
+    result.seed_ = options.baseSeed + scenario.seedOffset;
+    try {
+        StackConfig config = scenario.config;
+        config.mode = scenario.mode;
+        NestedSystem sys =
+            scenario.topology
+                ? NestedSystem(*scenario.topology, config,
+                               result.seed_)
+                : NestedSystem(scenario.mode, config, result.seed_);
+        ScopedTrace trace(sys.machine(), options.tracePath,
+                          scenario.name);
+        scenario.run(sys, result);
+        result.finalTicks_ = sys.machine().now();
+        // Capture instead of letting the destructor print: workers
+        // must not write to stderr in completion order.
+        result.traceReport_ = trace.finish();
+    } catch (const SimError &e) {
+        result.error_ = e.what();
+    }
+}
+
+SweepResults
+SweepRunner::run(const std::vector<Scenario> &scenarios,
+                 const SweepOptions &options)
+{
+    std::set<std::string> names;
+    for (const auto &s : scenarios) {
+        if (!names.insert(s.name).second)
+            fatal("sweep: duplicate scenario name '%s'",
+                  s.name.c_str());
+        if (!s.run)
+            fatal("sweep: scenario '%s' has no run callback",
+                  s.name.c_str());
+    }
+
+    SweepResults results;
+    results.results_.resize(scenarios.size());
+
+    if (options.jobs <= 1) {
+        for (std::size_t i = 0; i < scenarios.size(); ++i)
+            runOne(scenarios[i], options, results.results_[i]);
+        return results;
+    }
+
+    WorkerPool pool(options.jobs);
+    for (std::size_t i = 0; i < scenarios.size(); ++i) {
+        const Scenario *scenario = &scenarios[i];
+        ScenarioResult *slot = &results.results_[i];
+        pool.submit(
+            [scenario, slot, &options] {
+                runOne(*scenario, options, *slot);
+            });
+    }
+    pool.wait();
+    return results;
+}
+
+SweepResults
+runSweep(const std::vector<Scenario> &scenarios,
+         const SweepOptions &options)
+{
+    SweepResults results = SweepRunner::run(scenarios, options);
+    // Conservation reports surface once the pool has drained, in
+    // declaration order, so stderr is reproducible across --jobs.
+    for (const auto &r : results.all()) {
+        if (!r.traceReport().empty())
+            std::fprintf(stderr, "%s\n", r.traceReport().c_str());
+    }
+    return results;
+}
+
+} // namespace svtsim

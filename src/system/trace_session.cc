@@ -7,18 +7,6 @@
 
 namespace svtsim {
 
-std::string
-parseTraceFlag(int argc, char **argv)
-{
-    const std::string prefix = "--trace=";
-    for (int i = 1; i < argc; ++i) {
-        std::string arg = argv[i];
-        if (arg.rfind(prefix, 0) == 0)
-            return arg.substr(prefix.size());
-    }
-    return {};
-}
-
 namespace {
 
 /** Insert @p label before the extension: t.json + "sw" -> t.sw.json. */
@@ -51,15 +39,26 @@ ScopedTrace::ScopedTrace(Machine &machine, const std::string &path,
 
 ScopedTrace::~ScopedTrace()
 {
-    if (!sink_)
+    if (finished_ || !sink_)
         return;
+    std::string report = finish();
+    if (!report.empty())
+        std::fprintf(stderr, "%s\n", report.c_str());
+}
+
+std::string
+ScopedTrace::finish()
+{
+    if (finished_ || !sink_)
+        return {};
+    finished_ = true;
+    std::string report;
     {
         std::ofstream json(tracePath_);
         if (json)
             sink_->writeChromeTrace(json);
         else
-            std::fprintf(stderr, "trace: cannot write %s\n",
-                         tracePath_.c_str());
+            report = "trace: cannot write " + tracePath_ + "\n";
     }
     std::string csv_path = tracePath_ + ".csv";
     {
@@ -68,16 +67,17 @@ ScopedTrace::~ScopedTrace()
             sink_->writeCsvSummary(csv);
     }
     auto c = sink_->checkConservation();
-    std::fprintf(stderr,
-                 "trace: %s (+.csv) events=%zu dropped=%llu "
-                 "elapsed=%.3fus attributed=%.3fus idle=%.3fus "
-                 "unattributed=%.3fus %s\n",
-                 tracePath_.c_str(), sink_->events().size(),
-                 static_cast<unsigned long long>(sink_->droppedEvents()),
-                 toUsec(c.elapsed), toUsec(c.attributed), toUsec(c.idle),
-                 toUsec(c.unattributed),
-                 c.conserved() ? "conserved" : "NOT CONSERVED");
+    report += log_detail::format(
+        "trace: %s (+.csv) events=%zu dropped=%llu "
+        "elapsed=%.3fus attributed=%.3fus idle=%.3fus "
+        "unattributed=%.3fus %s",
+        tracePath_.c_str(), sink_->events().size(),
+        static_cast<unsigned long long>(sink_->droppedEvents()),
+        toUsec(c.elapsed), toUsec(c.attributed), toUsec(c.idle),
+        toUsec(c.unattributed),
+        c.conserved() ? "conserved" : "NOT CONSERVED");
     machine_.setTraceSink(nullptr);
+    return report;
 }
 
 } // namespace svtsim

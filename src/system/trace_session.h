@@ -1,9 +1,11 @@
 /**
  * @file
- * Bench-facing trace plumbing: `--trace=<file>` flag parsing and a
- * ScopedTrace that attaches a TraceSink to a Machine for the duration
- * of a measured run and exports Chrome trace JSON (`<file>`) plus a
- * CSV stage summary (`<file>.csv`) on the way out.
+ * Bench-facing trace plumbing: a ScopedTrace that attaches a
+ * TraceSink to a Machine for the duration of a measured run and
+ * exports Chrome trace JSON (`<file>`) plus a CSV stage summary
+ * (`<file>.csv`) on the way out. The `--trace=<file>` flag itself is
+ * parsed by BenchHarness, which labels one session per sweep
+ * scenario.
  */
 
 #ifndef SVTSIM_SYSTEM_TRACE_SESSION_H
@@ -16,15 +18,6 @@
 #include "sim/trace.h"
 
 namespace svtsim {
-
-/**
- * Parse a `--trace=<file>` option out of (argc, argv).
- *
- * @return The file path, or an empty string when the flag is absent.
- *         Unrecognized arguments are left alone (benches have their
- *         own, mostly empty, CLI surface).
- */
-std::string parseTraceFlag(int argc, char **argv);
 
 /**
  * RAII trace session over one Machine.
@@ -50,10 +43,21 @@ class ScopedTrace
     bool active() const { return sink_ != nullptr; }
     TraceSink *sink() { return sink_.get(); }
 
+    /**
+     * Export the trace files, detach the sink and return the one-line
+     * conservation report (empty for an inert session). Idempotent;
+     * when the caller does not invoke it, the destructor does and
+     * prints the report to stderr. The parallel sweep engine calls it
+     * explicitly so reports can be emitted in scenario declaration
+     * order instead of thread completion order.
+     */
+    std::string finish();
+
   private:
     Machine &machine_;
     std::string tracePath_;
     std::unique_ptr<TraceSink> sink_;
+    bool finished_ = false;
 };
 
 } // namespace svtsim
