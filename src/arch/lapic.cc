@@ -5,9 +5,16 @@
 
 namespace svtsim {
 
-Lapic::Lapic(EventQueue &eq, const CostModel &costs, int id)
+Lapic::Lapic(EventQueue &eq, const CostModel &costs, int id,
+             MetricsRegistry *metrics)
     : eq_(eq), costs_(costs), id_(id)
 {
+    if (metrics) {
+        raisedMetric_ = metrics->counter(MetricScope::Machine, "irq",
+                                         "irq.raised");
+        ipiMetric_ = metrics->counter(MetricScope::Machine, "irq",
+                                      "irq.ipi");
+    }
 }
 
 Lapic::~Lapic()
@@ -21,6 +28,7 @@ Lapic::raise(std::uint8_t vector)
 {
     pending_.set(vector);
     ++raised_;
+    raisedMetric_.inc();
     if (TraceSink *sink = eq_.traceSink())
         sink->instant(TraceCategory::Irq, "irq.raise", vector);
 }
@@ -76,6 +84,7 @@ void
 Lapic::sendIpi(Lapic &dst, std::uint8_t vector)
 {
     Lapic *target = &dst;
+    ipiMetric_.inc();
     eq_.scheduleIn(costs_.ipiLatency,
                    [target, vector] { target->raise(vector); },
                    "ipi");

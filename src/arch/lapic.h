@@ -11,6 +11,7 @@
 
 #include "arch/cost_model.h"
 #include "sim/event_queue.h"
+#include "stats/metrics.h"
 
 namespace svtsim {
 
@@ -29,8 +30,11 @@ class Lapic
      * @param eq Shared event queue (IPIs and timers are events).
      * @param costs Cost model for delivery latencies.
      * @param id Global identifier (for diagnostics).
+     * @param metrics Optional registry; all lapics on a machine share
+     *        the aggregate irq.raised / irq.ipi counters.
      */
-    Lapic(EventQueue &eq, const CostModel &costs, int id);
+    Lapic(EventQueue &eq, const CostModel &costs, int id,
+          MetricsRegistry *metrics = nullptr);
 
     ~Lapic();
 
@@ -98,6 +102,8 @@ class Lapic
     std::bitset<256> pending_;
     EventId timerEvent_ = invalidEventId;
     std::uint64_t raised_ = 0;
+    Counter raisedMetric_;
+    Counter ipiMetric_;
 };
 
 } // namespace svtsim

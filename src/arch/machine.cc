@@ -38,7 +38,8 @@ Machine::Machine(MachineTopology topo, CostModel costs,
     for (int node = 0; node < topo_.numaNodes; ++node) {
         for (int c = 0; c < topo_.coresPerNode; ++c) {
             cores_.push_back(std::make_unique<SmtCore>(
-                eq_, costs_, id++, topo_.threadsPerCore, node));
+                eq_, costs_, id++, topo_.threadsPerCore, node,
+                SmtCore::defaultPrfSize, &metrics_));
         }
     }
 }
@@ -112,20 +113,21 @@ Machine::resetAttribution()
 void
 Machine::count(const std::string &key, std::uint64_t n)
 {
-    counters_[key] += n;
+    metrics_.addByName(key, n);
 }
 
 std::uint64_t
 Machine::counter(const std::string &key) const
 {
-    auto it = counters_.find(key);
-    return it == counters_.end() ? 0 : it->second;
+    return metrics_.counterValue(key);
 }
 
-void
-Machine::resetCounters()
+MetricsSnapshot
+Machine::snapshotMetrics() const
 {
-    counters_.clear();
+    MetricsSnapshot snap = metrics_.snapshot();
+    snap.scopes.assign(buckets_.begin(), buckets_.end());
+    return snap;
 }
 
 } // namespace svtsim

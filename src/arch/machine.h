@@ -16,6 +16,7 @@
 #include "arch/smt_core.h"
 #include "sim/event_queue.h"
 #include "sim/random.h"
+#include "stats/metrics.h"
 
 namespace svtsim {
 
@@ -92,7 +93,18 @@ class Machine
 
     void resetAttribution();
 
-    // -- Event counters ----------------------------------------------------
+    // -- Simulated PMU -----------------------------------------------------
+    /** The machine's metrics registry (the simulated PMU). Components
+     *  intern handles here at construction time. */
+    MetricsRegistry &metrics() { return metrics_; }
+    const MetricsRegistry &metrics() const { return metrics_; }
+
+    /**
+     * Compat shim over the old string-keyed counter map: adds to a
+     * pre-registered counter by name. Raises FatalError on keys no
+     * component registered — a typo'd key is a config bug, not a new
+     * counter.
+     */
     void count(const std::string &key, std::uint64_t n = 1);
     std::uint64_t counter(const std::string &key) const;
 
@@ -102,24 +114,32 @@ class Machine
      * identical, deterministic id sequences.
      */
     int allocApicId() { return nextApicId_++; }
-    const std::map<std::string, std::uint64_t> &counters() const
+
+    /** All registered counters as a name -> value map (by value now
+     *  that the backing store is the registry). */
+    std::map<std::string, std::uint64_t> counters() const
     {
-        return counters_;
+        return metrics_.counterValues();
     }
-    void resetCounters();
+    void resetCounters() { metrics_.reset(); }
+
+    /** Registry snapshot plus this machine's attribution buckets. */
+    MetricsSnapshot snapshotMetrics() const;
 
   private:
     MachineTopology topo_;
     CostModel costs_;
     EventQueue eq_;
     Rng rng_;
+    /** Declared before cores_: cores (and their lapics) intern metric
+     *  handles during construction. */
+    MetricsRegistry metrics_;
     std::vector<std::unique_ptr<SmtCore>> cores_;
     std::vector<std::string> scopeStack_;
     /** Trace-span handle per open scope; noTraceSpan when the sink was
      *  absent/disabled at pushScope() time. */
     std::vector<std::size_t> scopeSpans_;
     std::map<std::string, Ticks> buckets_;
-    std::map<std::string, std::uint64_t> counters_;
     int nextApicId_ = 1000;
 };
 

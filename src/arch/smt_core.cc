@@ -5,7 +5,8 @@
 namespace svtsim {
 
 SmtCore::SmtCore(EventQueue &eq, const CostModel &costs, int id,
-                 int num_contexts, int numa_node, std::size_t prf_size)
+                 int num_contexts, int numa_node, std::size_t prf_size,
+                 MetricsRegistry *metrics)
     : eq_(eq), costs_(costs), id_(id), numaNode_(numa_node),
       prf_(prf_size)
 {
@@ -17,7 +18,7 @@ SmtCore::SmtCore(EventQueue &eq, const CostModel &costs, int id,
     for (int i = 0; i < num_contexts; ++i) {
         contexts_.push_back(std::make_unique<HwContext>(prf_, i));
         lapics_.push_back(std::make_unique<Lapic>(
-            eq_, costs_, id_ * 64 + i));
+            eq_, costs_, id_ * 64 + i, metrics));
     }
 }
 

@@ -29,6 +29,8 @@ namespace svtsim {
 class SmtCore
 {
   public:
+    static constexpr std::size_t defaultPrfSize = 320;
+
     /**
      * @param eq Shared event queue.
      * @param costs Cost model.
@@ -36,9 +38,13 @@ class SmtCore
      * @param num_contexts SMT width (Table 4: 2; HW SVt studies 3+).
      * @param numa_node NUMA node the core belongs to.
      * @param prf_size Physical register file capacity.
+     * @param metrics Owning machine's registry (nullptr for bare cores
+     *        built in unit tests: lapic metrics become inert).
      */
     SmtCore(EventQueue &eq, const CostModel &costs, int id,
-            int num_contexts, int numa_node, std::size_t prf_size = 320);
+            int num_contexts, int numa_node,
+            std::size_t prf_size = defaultPrfSize,
+            MetricsRegistry *metrics = nullptr);
 
     int id() const { return id_; }
     int numaNode() const { return numaNode_; }

@@ -88,11 +88,29 @@ ChannelModel::workerSlowdown(const CostModel &costs) const
     return 1.0;
 }
 
-CommandRing::CommandRing(Machine &machine, std::size_t capacity)
-    : machine_(machine), capacity_(capacity)
+CommandRing::CommandRing(Machine &machine, std::string name,
+                         std::size_t capacity)
+    : machine_(machine), name_(std::move(name)), capacity_(capacity)
 {
     if (capacity == 0)
         fatal("CommandRing requires a non-zero capacity");
+    MetricsRegistry &reg = machine_.metrics();
+    postedMetric_ =
+        reg.counter(MetricScope::Svt, "channel", name_ + ".posted");
+    depthMetric_ =
+        reg.gauge(MetricScope::Svt, "channel", name_ + ".depth");
+    wakeMetric_ = reg.histogram(MetricScope::Svt, "channel",
+                                name_ + ".wake_latency");
+}
+
+void
+CommandRing::noteDepth()
+{
+    auto depth = static_cast<std::int64_t>(ring_.size());
+    depthMetric_.set(depth);
+    TraceSink *sink = machine_.traceSink();
+    if (sink && sink->enabled())
+        sink->counter(name_ + ".depth", depth);
 }
 
 void
@@ -110,6 +128,8 @@ CommandRing::post(const ChannelMessage &msg)
                      costs.ringPayloadValue * ringPayloadValues);
     ring_.push_back(msg);
     ++posted_;
+    postedMetric_.inc();
+    noteDepth();
 }
 
 ChannelMessage
@@ -125,7 +145,14 @@ CommandRing::pop()
                          "ring.pop");
     ChannelMessage msg = ring_.front();
     ring_.pop_front();
+    noteDepth();
     return msg;
+}
+
+void
+CommandRing::recordWake(Ticks latency)
+{
+    wakeMetric_.record(latency);
 }
 
 } // namespace svtsim

@@ -16,6 +16,7 @@
 #include <array>
 #include <cstdint>
 #include <deque>
+#include <string>
 
 #include "arch/machine.h"
 #include "arch/regs.h"
@@ -112,11 +113,17 @@ class CommandRing
   public:
     /**
      * @param machine Cost accounting.
+     * @param name Instance name; prefixes this ring's PMU metrics
+     *        (`<name>.posted`, `<name>.depth`, `<name>.wake_latency`)
+     *        and its Chrome-trace counter track.
      * @param capacity Ring capacity; posting to a full ring panics
      *        (the SW SVt protocol is strictly request/response, so
      *        depth never exceeds one in correct operation).
      */
-    explicit CommandRing(Machine &machine, std::size_t capacity = 8);
+    CommandRing(Machine &machine, std::string name,
+                std::size_t capacity = 8);
+
+    const std::string &name() const { return name_; }
 
     /** Post a message; charges ring-post plus payload-copy costs. */
     void post(const ChannelMessage &msg);
@@ -130,14 +137,25 @@ class CommandRing
      */
     ChannelMessage pop();
 
+    /** Record the consumer-side wakeup latency (store -> waiter
+     *  resumes) into this ring's mwait-wakeup histogram. */
+    void recordWake(Ticks latency);
+
     std::size_t depth() const { return ring_.size(); }
     std::uint64_t postedCount() const { return posted_; }
 
   private:
+    /** Update the depth gauge and mirror it as a trace counter. */
+    void noteDepth();
+
     Machine &machine_;
+    std::string name_;
     std::size_t capacity_;
     std::deque<ChannelMessage> ring_;
     std::uint64_t posted_ = 0;
+    Counter postedMetric_;
+    Gauge depthMetric_;
+    LatencyHistogram wakeMetric_;
 };
 
 } // namespace svtsim

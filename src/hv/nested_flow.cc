@@ -48,9 +48,9 @@ VirtStack::exitFromL2(const ExitInfo &info)
         svt_->vmTrap();
         vmcs02_->recordExit(info);
         machine_.consume(3 * c.vmcsFieldCopy);
-        machine_.count("vmx.exit");
-        machine_.count(std::string("vmx.exit.") +
-                       exitReasonName(info.reason));
+        vmxExitMetric_.inc();
+        vmxExitReasonMetric_[static_cast<std::size_t>(info.reason)]
+            .inc();
     } else {
         engines_[0]->vmexit(info);
         // Hypervisor thunk: spill L2's GPRs into L0's vcpu struct.
@@ -118,7 +118,7 @@ VirtStack::transformVmcs02ToVmcs12()
             vmcs12_->write(f, vmcs02_->read(f));
         }
     }
-    machine_.count("l0.transform_02_to_12");
+    transform0212Metric_.inc();
 }
 
 void
@@ -153,7 +153,7 @@ VirtStack::transformVmcs12ToVmcs02()
         vcpuL2InL0_->rip = vmcs12_->read(VmcsField::GuestRip);
         vcpuL2InL0_->rflags = vmcs12_->read(VmcsField::GuestRflags);
     }
-    machine_.count("l0.transform_12_to_02");
+    transform1202Metric_.inc();
 }
 
 // ----------------------------------------------- the nested exit round
@@ -184,8 +184,13 @@ VirtStack::nestedExitFromL2(const ExitInfo &info)
     simAssert(isNestedMode(), "nestedExitFromL2 outside nested mode");
     machine_.pushScope(std::string("exit.") +
                        exitReasonName(info.reason));
-    machine_.count(std::string("l2.exit.") +
-                   exitReasonName(info.reason));
+    ReasonMetrics &rm =
+        l2ExitMetric_[static_cast<std::size_t>(info.reason)];
+    rm.count.inc();
+    // Histogram sample = elapsed time while the exit.<reason> scope is
+    // open, so the sum of all samples mirrors the trace layer's Exit
+    // span durations exactly (the conservation cross-check).
+    const Ticks round_start = machine_.now();
     const CostModel &c = machine_.costs();
 
     if (config_.mode == VirtMode::HwSvt && config_.svtDirectReflect &&
@@ -204,7 +209,7 @@ VirtStack::nestedExitFromL2(const ExitInfo &info)
             l2Running_ = false;
         }
         ++reflected_;
-        machine_.count("l0.direct_reflect");
+        directReflectMetric_.inc();
         bool resume;
         {
             TimeScope l1(machine_, "stage.l1_handler");
@@ -221,6 +226,7 @@ VirtStack::nestedExitFromL2(const ExitInfo &info)
             svt_->vmResume();
             l2Running_ = true;
         }
+        rm.latency.record(machine_.now() - round_start);
         machine_.popScope();
         return;
     }
@@ -242,12 +248,12 @@ VirtStack::nestedExitFromL2(const ExitInfo &info)
             machine_.consume(c.vmcsFieldXlate +
                              r12.levelsWalked * c.memAccess);
             ept02_->map(page, r12.hpa & ~(pageSize - 1));
-            machine_.count("l0.ept02_fill");
+            ept02FillMetric_.inc();
             handled_in_l0 = true;
         } else if (r12.kind == Ept::Result::Kind::Misconfig) {
             machine_.consume(c.vmcsFieldXlate);
             ept02_->markMmio(page);
-            machine_.count("l0.ept02_mmio");
+            ept02MmioMetric_.inc();
             handled_in_l0 = true;
         }
     }
@@ -255,12 +261,13 @@ VirtStack::nestedExitFromL2(const ExitInfo &info)
     bool resume = true;
     if (!handled_in_l0) {
         ++reflected_;
-        machine_.count("l0.reflect");
+        reflectMetric_.inc();
         transformVmcs02ToVmcs12();
         resume = reflectToL1(info);
     }
     if (resume)
         resumeL2();
+    rm.latency.record(machine_.now() - round_start);
     machine_.popScope();
 }
 
@@ -284,7 +291,7 @@ VirtStack::serviceL1Housekeeping(bool overlapped)
         // (forward progress guaranteed by the Section 5.3 machinery).
         // The overlap is bounded by the exit-handling window; only
         // the excess spills onto the measured path.
-        machine_.count("l1.housekeeping.overlapped");
+        hkOverlappedMetric_.inc();
         Ticks spill = work - machine_.costs().swSvtOverlapWindow;
         if (spill > 0) {
             TimeScope t(machine_, "stage.l1_housekeeping");
@@ -297,7 +304,7 @@ VirtStack::serviceL1Housekeeping(bool overlapped)
     // proceeds.
     TimeScope t(machine_, "stage.l1_housekeeping");
     machine_.consume(work);
-    machine_.count("l1.housekeeping.serial");
+    hkSerialMetric_.inc();
 }
 
 bool
@@ -396,8 +403,9 @@ VirtStack::reflectSwSvt(const ExitInfo &info)
         // and reads the payload; the ring pop consumes time and must
         // stay inside the channel stage or its ticks go unattributed.
         TimeScope ch(machine_, "stage.channel");
-        machine_.consume(config_.channel.waiterSetup(c) +
-                         config_.channel.wakeLatency(c));
+        Ticks wake = config_.channel.wakeLatency(c);
+        machine_.consume(config_.channel.waiterSetup(c) + wake);
+        ringToSvt_->recordWake(wake);
         msg = ringToSvt_->pop();
     }
     for (int i = 0; i < numGprs; ++i) {
@@ -428,8 +436,9 @@ VirtStack::reflectSwSvt(const ExitInfo &info)
     {
         // L0 observes the response and reads the payload back.
         TimeScope ch(machine_, "stage.channel");
-        machine_.consume(config_.channel.waiterSetup(c) +
-                         config_.channel.wakeLatency(c));
+        Ticks wake = config_.channel.wakeLatency(c);
+        machine_.consume(config_.channel.waiterSetup(c) + wake);
+        ringFromSvt_->recordWake(wake);
         resp = ringFromSvt_->pop();
     }
     for (int i = 0; i < numGprs; ++i) {
@@ -512,7 +521,7 @@ VirtStack::svtSwitchOwner(int level)
     ctx.rip = in.rip;
     ctx.rflags = in.rflags;
     machine_.consume(c.thunkRegRestore * c.thunkRegs);
-    machine_.count("svt.ctx_multiplex");
+    ctxMultiplexMetric_.inc();
     svtCtx1Owner_ = level;
 }
 
@@ -576,7 +585,7 @@ VirtStack::serviceSvtThreadPreemption()
     Ticks duration = pendingPreemption_;
     pendingPreemption_ = 0;
     const CostModel &c = machine_.costs();
-    machine_.count("swsvt.preemption");
+    preemptionMetric_.inc();
 
     // Section 5.3 scenario: a kernel thread in the sibling preempts
     // the SVt-thread and IPIs the L1 vCPU, spinning for the ack.
@@ -594,7 +603,7 @@ VirtStack::serviceSvtThreadPreemption()
     // interrupts to the L1 vCPU and injects a synthetic SVT_BLOCKED
     // trap so the vCPU enables interrupts and drains them, then
     // yields straight back.
-    machine_.count("swsvt.svt_blocked");
+    svtBlockedMetric_.inc();
     machine_.consume(c.injectPrepare);
     enterL1Window();
     int v;
@@ -616,6 +625,7 @@ VirtStack::l1TrapRound(VmxEngine &engine, const ExitInfo &info)
 {
     const CostModel &c = machine_.costs();
     HwContext &ctx = engine.context();
+    const Ticks round_start = machine_.now();
     engine.vmexit(info);
     machine_.consume(c.thunkRegSave * c.thunkRegs);
     for (int i = 0; i < numGprs; ++i) {
@@ -629,6 +639,8 @@ VirtStack::l1TrapRound(VmxEngine &engine, const ExitInfo &info)
                      vcpuL1_->gpr(static_cast<Gpr>(i)));
     }
     machine_.consume(c.thunkRegRestore * c.thunkRegs);
+    l0ExitMetric_[static_cast<std::size_t>(info.reason)].latency.record(
+        machine_.now() - round_start);
     return result;
 }
 
@@ -637,6 +649,7 @@ VirtStack::svtTrapRound(const ExitInfo &info)
 {
     const CostModel &c = machine_.costs();
     HwContext &ctx1 = core_.context(1);
+    const Ticks round_start = machine_.now();
     // Squash + retarget to the visor context; no state movement.
     svt_->vmTrap();
     // L0 pulls the registers it needs with ctxtld (is_vm==0, lvl 1 ->
@@ -653,6 +666,8 @@ VirtStack::svtTrapRound(const ExitInfo &info)
                       vcpuL1_->gpr(static_cast<Gpr>(i)));
     }
     svt_->vmResume();
+    l0ExitMetric_[static_cast<std::size_t>(info.reason)].latency.record(
+        machine_.now() - round_start);
     return result;
 }
 
@@ -661,8 +676,7 @@ VirtStack::handleL0Exit(const ExitInfo &info, VmxEngine *engine)
 {
     const CostModel &c = machine_.costs();
     machine_.consume(c.handlerDispatch);
-    machine_.count(std::string("l0.exit.") +
-                   exitReasonName(info.reason));
+    l0ExitMetric_[static_cast<std::size_t>(info.reason)].count.inc();
 
     auto advance_rip = [&](std::uint64_t len) {
         if (engine) {

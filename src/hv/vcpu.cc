@@ -5,7 +5,8 @@ namespace svtsim {
 Vcpu::Vcpu(Machine &machine, std::string name)
     : name_(std::move(name)),
       lapic_(std::make_unique<Lapic>(machine.events(), machine.costs(),
-                                     machine.allocApicId()))
+                                     machine.allocApicId(),
+                                     &machine.metrics()))
 {
 }
 

@@ -99,8 +99,71 @@ VirtStack::setupCommon()
     ctxtBackend_ = std::make_unique<CtxtL1Backend>(*this);
     muxBackend_ = std::make_unique<MuxL1Backend>(*this);
 
-    ringToSvt_ = std::make_unique<CommandRing>(machine_);
-    ringFromSvt_ = std::make_unique<CommandRing>(machine_);
+    ringToSvt_ =
+        std::make_unique<CommandRing>(machine_, "ring.to_svt");
+    ringFromSvt_ =
+        std::make_unique<CommandRing>(machine_, "ring.from_svt");
+
+    // Simulated-PMU registration: every counter the nested flow (and
+    // the benches/tests querying Machine::counter) touches must exist
+    // before first use. Registered for every mode so zero-valued
+    // lookups stay valid and the export schema is mode-independent.
+    MetricsRegistry &reg = machine_.metrics();
+    for (std::size_t r = 0;
+         r < static_cast<std::size_t>(ExitReason::NumReasons); ++r) {
+        const char *rn = exitReasonName(static_cast<ExitReason>(r));
+        l2ExitMetric_[r].count = reg.counter(
+            MetricScope::L2, "hv", std::string("l2.exit.") + rn);
+        l2ExitMetric_[r].latency = reg.histogram(
+            MetricScope::L2, "hv",
+            std::string("l2.exit_latency.") + rn);
+        l0ExitMetric_[r].count = reg.counter(
+            MetricScope::L0, "hv", std::string("l0.exit.") + rn);
+        l0ExitMetric_[r].latency = reg.histogram(
+            MetricScope::L0, "hv",
+            std::string("l0.exit_latency.") + rn);
+    }
+    transform0212Metric_ =
+        reg.counter(MetricScope::L0, "hv", "l0.transform_02_to_12");
+    transform1202Metric_ =
+        reg.counter(MetricScope::L0, "hv", "l0.transform_12_to_02");
+    reflectMetric_ = reg.counter(MetricScope::L0, "hv", "l0.reflect");
+    directReflectMetric_ =
+        reg.counter(MetricScope::L0, "hv", "l0.direct_reflect");
+    ept02FillMetric_ =
+        reg.counter(MetricScope::L0, "hv", "l0.ept02_fill");
+    ept02MmioMetric_ =
+        reg.counter(MetricScope::L0, "hv", "l0.ept02_mmio");
+    hkOverlappedMetric_ = reg.counter(MetricScope::L1, "hv",
+                                      "l1.housekeeping.overlapped");
+    hkSerialMetric_ =
+        reg.counter(MetricScope::L1, "hv", "l1.housekeeping.serial");
+    ctxMultiplexMetric_ =
+        reg.counter(MetricScope::Svt, "hv", "svt.ctx_multiplex");
+    preemptionMetric_ =
+        reg.counter(MetricScope::Svt, "hv", "swsvt.preemption");
+    svtBlockedMetric_ =
+        reg.counter(MetricScope::Svt, "hv", "swsvt.svt_blocked");
+    swsvtPairedMetric_ =
+        reg.counter(MetricScope::Svt, "hv", "swsvt.paired");
+    for (int level = 0; level < 3; ++level) {
+        irqDeliveredMetric_[static_cast<std::size_t>(level)] =
+            reg.counter(level == 0   ? MetricScope::L0
+                        : level == 1 ? MetricScope::L1
+                                     : MetricScope::L2,
+                        "irq",
+                        "irq.delivered.l" + std::to_string(level));
+    }
+    // Re-open the aggregate vmx.exit slots the engines registered.
+    vmxExitMetric_ =
+        reg.counter(MetricScope::Machine, "vmx", "vmx.exit");
+    for (std::size_t r = 0;
+         r < static_cast<std::size_t>(ExitReason::NumReasons); ++r) {
+        vmxExitReasonMetric_[r] = reg.counter(
+            MetricScope::Machine, "vmx",
+            std::string("vmx.exit.") +
+                exitReasonName(static_cast<ExitReason>(r)));
+    }
 
     // L1's virtual timer interrupt forwards L2's deadline (the
     // GuestHypervisor owns the bookkeeping).
@@ -211,7 +274,7 @@ VirtStack::setupNested()
         e1.vmentry(true);
         // L1 pairs the vCPU and the SVt-thread through a hypercall so
         // L0 reschedules them together (Section 5.2).
-        machine_.count("swsvt.paired");
+        swsvtPairedMetric_.inc();
     }
 
     // L1 launches L2; L0 runs it on vmcs02 (Turtles, Figure 2).
@@ -323,7 +386,7 @@ VirtStack::runIrqHandler(int level, int vector)
 {
     auto &table = irqHandlers_[static_cast<std::size_t>(level)];
     auto it = table.find(static_cast<std::uint8_t>(vector));
-    machine_.count("irq.delivered.l" + std::to_string(level));
+    irqDeliveredMetric_[static_cast<std::size_t>(level)].inc();
     if (it != table.end() && it->second)
         it->second();
 }

@@ -341,6 +341,42 @@ class VirtStack
     std::uint64_t reflected_ = 0;
     bool inL1Window_ = false;
     bool pumping_ = false;
+
+    // -- PMU handles (interned in setupCommon) -----------------------------
+    /** Per-exit-reason count plus simulated-latency histogram. */
+    struct ReasonMetrics
+    {
+        Counter count;
+        LatencyHistogram latency;
+    };
+    using PerReason =
+        std::array<ReasonMetrics,
+                   static_cast<std::size_t>(ExitReason::NumReasons)>;
+
+    /** L2 trap rounds keyed by exit reason (nested rounds). */
+    PerReason l2ExitMetric_;
+    /** L1-grade exits handled by L0 (single-level rounds). */
+    PerReason l0ExitMetric_;
+
+    Counter transform0212Metric_;
+    Counter transform1202Metric_;
+    Counter reflectMetric_;
+    Counter directReflectMetric_;
+    Counter ept02FillMetric_;
+    Counter ept02MmioMetric_;
+    Counter hkOverlappedMetric_;
+    Counter hkSerialMetric_;
+    Counter ctxMultiplexMetric_;
+    Counter preemptionMetric_;
+    Counter svtBlockedMetric_;
+    Counter swsvtPairedMetric_;
+    std::array<Counter, 3> irqDeliveredMetric_;
+    /** The HW SVt exit path bumps the same vmx.exit* slots VmxEngine
+     *  registers (an SVt trap replaces the exit microcode). */
+    Counter vmxExitMetric_;
+    std::array<Counter,
+               static_cast<std::size_t>(ExitReason::NumReasons)>
+        vmxExitReasonMetric_;
 };
 
 } // namespace svtsim

@@ -13,6 +13,8 @@ VirtioNetStack::VirtioNetStack(VirtStack &stack, NetFabric &fabric)
       l2Rx_(stack.machine(), "l2.net.rx"),
       l1Rx_(stack.machine(), "l1.net.rx")
 {
+    rxDropMetric_ = stack_.machine().metrics().counter(
+        MetricScope::Machine, "virtio", "net.rx_drop");
     // L2's device: emulated by L1 (vhost in L1's kernel).
     stack_.l1Hv().registerMmio(
         ioaddr::l2NetDoorbell, pageSize,
@@ -139,7 +141,7 @@ VirtioNetStack::onWireRx(NetPacket pkt)
         if (l1Rx_.usedFull()) {
             // L1 is overloaded: the NIC ring overruns and the packet
             // is dropped.
-            stack_.machine().count("net.rx_drop");
+            rxDropMetric_.inc();
             return;
         }
         l1Rx_.completeQuiet(
@@ -172,7 +174,7 @@ VirtioNetStack::l1NetIrq()
             // The guest is not keeping up: the ring is full and the
             // packet is dropped, exactly like an overloaded virtio
             // queue.
-            stack_.machine().count("net.rx_drop");
+            rxDropMetric_.inc();
             continue;
         }
         l2Rx_.complete(buf);

@@ -101,6 +101,8 @@ class VirtioNetStack
     std::function<void(NetPacket)> rxHandler_;
     std::uint64_t txPackets_ = 0;
     std::uint64_t rxPackets_ = 0;
+    /** Packets dropped on an overrun rx ring (L0->L1 or L1->L2). */
+    Counter rxDropMetric_;
 };
 
 } // namespace svtsim

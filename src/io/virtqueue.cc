@@ -11,6 +11,23 @@ Virtqueue::Virtqueue(Machine &machine, std::string name,
 {
     if (size == 0)
         fatal("Virtqueue requires a non-zero ring size");
+    MetricsRegistry &reg = machine_.metrics();
+    postedMetric_ =
+        reg.counter(MetricScope::Machine, "virtio", name_ + ".posted");
+    kicksMetric_ =
+        reg.counter(MetricScope::Machine, "virtio", name_ + ".kicks");
+    availDepthMetric_ = reg.gauge(MetricScope::Machine, "virtio",
+                                  name_ + ".avail_depth");
+}
+
+void
+Virtqueue::noteAvailDepth()
+{
+    auto depth = static_cast<std::int64_t>(avail_.size());
+    availDepthMetric_.set(depth);
+    TraceSink *sink = machine_.traceSink();
+    if (sink && sink->enabled())
+        sink->counter(name_ + ".avail_depth", depth);
 }
 
 bool
@@ -21,9 +38,12 @@ Virtqueue::post(const VirtioBuffer &buf)
     machine_.consume(machine_.costs().virtqueueDescriptor);
     avail_.push_back(buf);
     ++posted_;
+    postedMetric_.inc();
+    noteAvailDepth();
     if (!deviceRunning_) {
         deviceRunning_ = true;
         ++kicks_;
+        kicksMetric_.inc();
         SVTSIM_TRACE_INSTANT(machine_.traceSink(), TraceCategory::Io,
                              "virtqueue.kick." + name_);
         return true;
@@ -52,6 +72,7 @@ Virtqueue::take(VirtioBuffer &out)
     machine_.consume(machine_.costs().memAccess * 2);
     out = avail_.front();
     avail_.pop_front();
+    noteAvailDepth();
     return true;
 }
 
@@ -64,6 +85,7 @@ Virtqueue::takeQuiet(VirtioBuffer &out)
     }
     out = avail_.front();
     avail_.pop_front();
+    noteAvailDepth();
     return true;
 }
 

@@ -97,6 +97,9 @@ class Virtqueue
     std::uint64_t kicksNeeded() const { return kicks_; }
 
   private:
+    /** Update the avail-depth gauge and mirror it as a trace counter. */
+    void noteAvailDepth();
+
     Machine &machine_;
     std::string name_;
     std::size_t size_;
@@ -105,6 +108,9 @@ class Virtqueue
     bool deviceRunning_ = false;
     std::uint64_t posted_ = 0;
     std::uint64_t kicks_ = 0;
+    Counter postedMetric_;
+    Counter kicksMetric_;
+    Gauge availDepthMetric_;
 };
 
 } // namespace svtsim

@@ -8,6 +8,15 @@ namespace svtsim {
 SvtUnit::SvtUnit(Machine &machine, SmtCore &core)
     : machine_(machine), core_(core)
 {
+    MetricsRegistry &reg = machine_.metrics();
+    switchMetric_ = reg.counter(MetricScope::Svt, "svt", "svt.switch");
+    vmResumeMetric_ =
+        reg.counter(MetricScope::Svt, "svt", "svt.vm_resume");
+    vmTrapMetric_ = reg.counter(MetricScope::Svt, "svt", "svt.vm_trap");
+    directReflectMetric_ =
+        reg.counter(MetricScope::Svt, "svt", "svt.direct_reflect");
+    ctxtldMetric_ = reg.counter(MetricScope::Svt, "svt", "svt.ctxtld");
+    ctxtstMetric_ = reg.counter(MetricScope::Svt, "svt", "svt.ctxtst");
 }
 
 void
@@ -66,7 +75,8 @@ SvtUnit::vmResume()
     uregs_.isVm = true;
     core_.retargetFetch(static_cast<int>(uregs_.current));
     ++switches_;
-    machine_.count("svt.switch");
+    switchMetric_.inc();
+    vmResumeMetric_.inc();
 }
 
 void
@@ -86,7 +96,8 @@ SvtUnit::vmTrap()
     uregs_.isVm = false;
     core_.retargetFetch(static_cast<int>(uregs_.current));
     ++switches_;
-    machine_.count("svt.switch");
+    switchMetric_.inc();
+    vmTrapMetric_.inc();
 }
 
 void
@@ -104,8 +115,8 @@ SvtUnit::directReflect(int handler_ctx)
     uregs_.isVm = true;
     core_.retargetFetch(handler_ctx);
     ++switches_;
-    machine_.count("svt.switch");
-    machine_.count("svt.direct_reflect");
+    switchMetric_.inc();
+    directReflectMetric_.inc();
 }
 
 int
@@ -153,6 +164,7 @@ SvtUnit::ctxtld(int lvl, Gpr reg, std::uint64_t &out)
     machine_.consume(machine_.costs().ctxtRegAccess);
     out = ctx->readGpr(reg);
     ++crossAccesses_;
+    ctxtldMetric_.inc();
     return Access::Ok;
 }
 
@@ -168,6 +180,7 @@ SvtUnit::ctxtst(int lvl, Gpr reg, std::uint64_t value)
     machine_.consume(machine_.costs().ctxtRegAccess);
     ctx->writeGpr(reg, value);
     ++crossAccesses_;
+    ctxtstMetric_.inc();
     return Access::Ok;
 }
 
@@ -187,6 +200,7 @@ SvtUnit::ctxtld(int lvl, SvtSpecialReg reg, std::uint64_t &out)
       case SvtSpecialReg::Cr4: out = ctx->readCr(Ctrl::Cr4); break;
     }
     ++crossAccesses_;
+    ctxtldMetric_.inc();
     return Access::Ok;
 }
 
@@ -206,6 +220,7 @@ SvtUnit::ctxtst(int lvl, SvtSpecialReg reg, std::uint64_t value)
       case SvtSpecialReg::Cr4: ctx->writeCr(Ctrl::Cr4, value); break;
     }
     ++crossAccesses_;
+    ctxtstMetric_.inc();
     return Access::Ok;
 }
 

@@ -160,6 +160,14 @@ class SvtUnit
     std::bitset<numGprs> guestTrapMask_;
     std::uint64_t switches_ = 0;
     std::uint64_t crossAccesses_ = 0;
+    /** PMU handles for stall/resume transitions and cross-context
+     *  register traffic; shared across all SvtUnits on a machine. */
+    Counter switchMetric_;
+    Counter vmResumeMetric_;
+    Counter vmTrapMetric_;
+    Counter directReflectMetric_;
+    Counter ctxtldMetric_;
+    Counter ctxtstMetric_;
 };
 
 } // namespace svtsim

@@ -95,18 +95,22 @@ BenchHarness::usage(std::ostream &os, int status) const
 {
     os << "usage: " << name_
        << " [--jobs=N] [--seed=S] [--trace=FILE] [--json=FILE]"
-          " [--list]\n\n"
+          " [--metrics=FILE] [--breakdown] [--list]\n\n"
        << title_ << "\n\n"
-       << "  --jobs=N      run scenarios on N worker threads\n"
-       << "                (0 = one per hardware thread; default 1)\n"
-       << "  --seed=S      base seed for every scenario's "
+       << "  --jobs=N        run scenarios on N worker threads\n"
+       << "                  (0 = one per hardware thread; default 1)\n"
+       << "  --seed=S        base seed for every scenario's "
           "NestedSystem (default 1)\n"
-       << "  --trace=FILE  export per-scenario Chrome trace JSON and "
+       << "  --trace=FILE    export per-scenario Chrome trace JSON and "
           "a CSV summary\n"
-       << "  --json=FILE   write machine-readable results "
+       << "  --json=FILE     write machine-readable results "
           "(\"-\" = stdout)\n"
-       << "  --list        list scenarios and exit\n"
-       << "  --help        this text\n";
+       << "  --metrics=FILE  write the per-scenario simulated-PMU "
+          "dump (\"-\" = stdout)\n"
+       << "  --breakdown     print a Table 1-style breakdown per "
+          "scenario\n"
+       << "  --list          list scenarios and exit\n"
+       << "  --help          this text\n";
     if (customMain_)
         os << "\nremaining arguments are forwarded to the underlying "
               "benchmark runner\n";
@@ -153,6 +157,41 @@ BenchHarness::writeJson(std::ostream &os, const SweepResults &results,
     os << "\n  ]\n}\n";
 }
 
+void
+BenchHarness::writeMetricsJson(std::ostream &os,
+                               const SweepResults &results,
+                               const BenchOptions &options) const
+{
+    // Same contract as writeJson: --jobs is absent by design, the
+    // snapshots are deterministic per scenario, and samples are
+    // name-sorted, so the dump is byte-identical across worker counts.
+    os << "{\n  \"bench\": ";
+    jsonString(os, name_);
+    os << ",\n  \"title\": ";
+    jsonString(os, title_);
+    os << ",\n  \"seed\": " << options.seed;
+    os << ",\n  \"scenarios\": [";
+    bool first = true;
+    for (const auto &r : results.all()) {
+        os << (first ? "\n" : ",\n");
+        first = false;
+        os << "    {\n      \"name\": ";
+        jsonString(os, r.name());
+        os << ",\n      \"mode\": ";
+        jsonString(os, virtModeName(r.mode()));
+        os << ",\n      \"seed\": " << r.seed();
+        os << ",\n      \"final_ticks\": " << r.finalTicks();
+        if (!r.ok()) {
+            os << ",\n      \"error\": ";
+            jsonString(os, r.error());
+        }
+        os << ",\n      \"pmu\": ";
+        r.metricsSnapshot().writeJson(os, "      ");
+        os << "\n    }";
+    }
+    os << "\n  ]\n}\n";
+}
+
 int
 BenchHarness::main(int argc, char **argv)
 {
@@ -191,6 +230,10 @@ BenchHarness::main(int argc, char **argv)
             options.tracePath = value("--trace=");
         } else if (arg.rfind("--json=", 0) == 0) {
             options.jsonPath = value("--json=");
+        } else if (arg.rfind("--metrics=", 0) == 0) {
+            options.metricsPath = value("--metrics=");
+        } else if (arg == "--breakdown") {
+            options.breakdown = true;
         } else if (customMain_) {
             forwarded.push_back(argv[i]);
         } else {
@@ -237,6 +280,29 @@ BenchHarness::main(int argc, char **argv)
                 return 1;
             }
             writeJson(out, results, options);
+        }
+    }
+
+    if (!options.metricsPath.empty()) {
+        if (options.metricsPath == "-") {
+            writeMetricsJson(std::cout, results, options);
+        } else {
+            std::ofstream out(options.metricsPath);
+            if (!out) {
+                std::cerr << name_ << ": cannot write "
+                          << options.metricsPath << "\n";
+                return 1;
+            }
+            writeMetricsJson(out, results, options);
+        }
+    }
+
+    if (options.breakdown) {
+        for (const auto &r : results.all()) {
+            std::cout << "== " << r.name() << " ["
+                      << virtModeName(r.mode()) << "] ==\n";
+            r.metricsSnapshot().writeBreakdown(std::cout);
+            std::cout << "\n";
         }
     }
 

@@ -5,7 +5,8 @@
  * Every bench binary declares its scenarios (the sweep) and a report
  * callback (the tables), then delegates main() to a BenchHarness. The
  * harness owns the whole CLI surface — `--jobs`, `--seed`, `--trace`,
- * `--json`, `--list`, `--help` — runs the sweep on the deterministic
+ * `--json`, `--metrics`, `--breakdown`, `--list`, `--help` — runs the
+ * sweep on the deterministic
  * parallel engine, writes machine-readable JSON results and invokes
  * the report with results in declaration order. Output (tables, JSON,
  * per-scenario tick counts) is byte-identical for any `--jobs` value.
@@ -39,6 +40,11 @@ struct BenchOptions
     std::string tracePath;
     /** --json=FILE: machine-readable results ("-" for stdout). */
     std::string jsonPath;
+    /** --metrics=FILE: per-scenario simulated-PMU dump ("-" for
+     *  stdout). */
+    std::string metricsPath;
+    /** --breakdown: print the Table 1-style per-scenario report. */
+    bool breakdown = false;
 };
 
 /**
@@ -90,6 +96,15 @@ class BenchHarness
     /** Serialize results as JSON (stable field and metric order). */
     void writeJson(std::ostream &os, const SweepResults &results,
                    const BenchOptions &options) const;
+
+    /**
+     * Serialize the per-scenario simulated-PMU snapshots as JSON.
+     * Like writeJson, the output is a pure function of (scenarios,
+     * seed): byte-identical for any `--jobs` value.
+     */
+    void writeMetricsJson(std::ostream &os,
+                          const SweepResults &results,
+                          const BenchOptions &options) const;
 
   private:
     int usage(std::ostream &os, int status) const;

@@ -96,6 +96,7 @@ SweepRunner::runOne(const Scenario &scenario,
                           scenario.name);
         scenario.run(sys, result);
         result.finalTicks_ = sys.machine().now();
+        result.metricsSnapshot_ = sys.machine().snapshotMetrics();
         // Capture instead of letting the destructor print: workers
         // must not write to stderr in completion order.
         result.traceReport_ = trace.finish();

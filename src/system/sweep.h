@@ -31,6 +31,7 @@
 #include <utility>
 #include <vector>
 
+#include "stats/metrics.h"
 #include "system/nested_system.h"
 
 namespace svtsim {
@@ -94,6 +95,13 @@ class ScenarioResult
     /** The trace conservation report line ("" without --trace). */
     const std::string &traceReport() const { return traceReport_; }
 
+    /** Simulated-PMU snapshot taken when the run callback returned
+     *  (deterministic: a pure function of the scenario inputs). */
+    const MetricsSnapshot &metricsSnapshot() const
+    {
+        return metricsSnapshot_;
+    }
+
   private:
     friend class SweepRunner;
 
@@ -104,6 +112,7 @@ class ScenarioResult
     std::string error_;
     std::string traceReport_;
     std::vector<std::pair<std::string, double>> metrics_;
+    MetricsSnapshot metricsSnapshot_;
 };
 
 /** Results of a sweep, in scenario declaration order. */

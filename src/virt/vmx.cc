@@ -10,6 +10,20 @@ VmxEngine::VmxEngine(Machine &machine, SmtCore &core, int ctx)
 {
     if (ctx < 0 || ctx >= core.numContexts())
         fatal("VmxEngine context %d out of range", ctx);
+
+    MetricsRegistry &reg = machine_.metrics();
+    entryMetric_ = reg.counter(MetricScope::Machine, "vmx", "vmx.entry");
+    exitMetric_ = reg.counter(MetricScope::Machine, "vmx", "vmx.exit");
+    shadowReadMetric_ =
+        reg.counter(MetricScope::Machine, "vmx", "vmx.shadow_read");
+    shadowWriteMetric_ =
+        reg.counter(MetricScope::Machine, "vmx", "vmx.shadow_write");
+    for (std::size_t r = 0; r < exitReasonMetric_.size(); ++r) {
+        exitReasonMetric_[r] = reg.counter(
+            MetricScope::Machine, "vmx",
+            std::string("vmx.exit.") +
+                exitReasonName(static_cast<ExitReason>(r)));
+    }
 }
 
 void
@@ -119,7 +133,7 @@ VmxEngine::vmentry(bool launch)
     current_->setState(Vmcs::State::Launched);
     inGuest_ = true;
     ++entries_;
-    machine_.count("vmx.entry");
+    entryMetric_.inc();
     SVTSIM_TRACE_INSTANT(machine_.traceSink(), TraceCategory::Vmx,
                          "vmx.entry");
 }
@@ -151,8 +165,8 @@ VmxEngine::vmexit(const ExitInfo &info)
 
     inGuest_ = false;
     ++exits_;
-    machine_.count("vmx.exit");
-    machine_.count(std::string("vmx.exit.") + exitReasonName(info.reason));
+    exitMetric_.inc();
+    exitReasonMetric_[static_cast<std::size_t>(info.reason)].inc();
     SVTSIM_TRACE_INSTANT(machine_.traceSink(), TraceCategory::Vmx,
                          std::string("vmx.exit.") +
                              exitReasonName(info.reason));
@@ -171,7 +185,7 @@ VmxEngine::guestVmread(VmcsField field, std::uint64_t &value)
         machine_.consume(machine_.costs().vmShadowAccess);
         value = shadow->read(field);
         ++shadowAccesses_;
-        machine_.count("vmx.shadow_read");
+        shadowReadMetric_.inc();
         SVTSIM_TRACE_INSTANT(machine_.traceSink(), TraceCategory::Vmcs,
                              "vmcs.shadow_read");
         return true;
@@ -193,7 +207,7 @@ VmxEngine::guestVmwrite(VmcsField field, std::uint64_t value)
         machine_.consume(machine_.costs().vmShadowAccess);
         shadow->write(field, value);
         ++shadowAccesses_;
-        machine_.count("vmx.shadow_write");
+        shadowWriteMetric_.inc();
         SVTSIM_TRACE_INSTANT(machine_.traceSink(), TraceCategory::Vmcs,
                              "vmcs.shadow_write");
         return true;

@@ -12,6 +12,7 @@
 #ifndef SVTSIM_VIRT_VMX_H
 #define SVTSIM_VIRT_VMX_H
 
+#include <array>
 #include <cstdint>
 
 #include "arch/machine.h"
@@ -118,6 +119,14 @@ class VmxEngine
     std::uint64_t entries_ = 0;
     std::uint64_t exits_ = 0;
     std::uint64_t shadowAccesses_ = 0;
+    /** Interned PMU handles; every engine on a machine shares the same
+     *  aggregate slots (registration is idempotent on name). */
+    Counter entryMetric_;
+    Counter exitMetric_;
+    Counter shadowReadMetric_;
+    Counter shadowWriteMetric_;
+    std::array<Counter, static_cast<std::size_t>(ExitReason::NumReasons)>
+        exitReasonMetric_;
 };
 
 } // namespace svtsim

@@ -804,7 +804,7 @@ TEST(Channel, OnlySmtPollingStealsCycles)
 TEST(Channel, RingProtocol)
 {
     Machine machine(MachineTopology{1, 1, 2});
-    CommandRing ring(machine, 2);
+    CommandRing ring(machine, "ring.test", 2);
     EXPECT_FALSE(ring.hasMessage());
     EXPECT_THROW(ring.pop(), PanicError);
     ChannelMessage msg;
@@ -826,7 +826,7 @@ TEST(Channel, RingProtocol)
 TEST(Channel, RingRejectsZeroCapacity)
 {
     Machine machine(MachineTopology{1, 1, 2});
-    EXPECT_THROW(CommandRing(machine, 0), FatalError);
+    EXPECT_THROW(CommandRing(machine, "ring.test", 0), FatalError);
 }
 
 TEST(Channel, RingChargesSymmetricPayload)
@@ -835,7 +835,7 @@ TEST(Channel, RingChargesSymmetricPayload)
     // post() charged the full message (numGprs + 2 + 7), silently
     // under-costing every SW SVt consumer-side payload read.
     Machine machine(MachineTopology{1, 1, 2});
-    CommandRing ring(machine, 2);
+    CommandRing ring(machine, "ring.test", 2);
     const CostModel &c = machine.costs();
     ChannelMessage msg;
 

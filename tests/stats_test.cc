@@ -121,8 +121,27 @@ TEST(Percentiles, SingleSample)
 {
     Percentiles p;
     p.add(7.0);
+    EXPECT_EQ(p.quantile(0.0), 7.0);
     EXPECT_EQ(p.quantile(0.3), 7.0);
+    EXPECT_EQ(p.quantile(1.0), 7.0);
     EXPECT_EQ(p.p99(), 7.0);
+}
+
+TEST(Percentiles, UnsortedInsertsExactQuantiles)
+{
+    // quantile() must sort lazily: extremes and the median are exact
+    // regardless of insertion order.
+    Percentiles p;
+    for (double v : {5.0, 1.0, 4.0, 2.0, 3.0})
+        p.add(v);
+    EXPECT_DOUBLE_EQ(p.quantile(0.0), 1.0);
+    EXPECT_DOUBLE_EQ(p.quantile(0.5), 3.0);
+    EXPECT_DOUBLE_EQ(p.quantile(1.0), 5.0);
+    // Interleave another add after a query: the lazy sort must not
+    // lose samples added afterwards.
+    p.add(0.5);
+    EXPECT_DOUBLE_EQ(p.quantile(0.0), 0.5);
+    EXPECT_DOUBLE_EQ(p.quantile(1.0), 5.0);
 }
 
 TEST(Percentiles, EmptyQuantilePanics)
