@@ -169,6 +169,10 @@ struct CostModel
     Ticks mutexWake = nsec(2600);
     /** Mutex fast-path spin window before sleeping. */
     Ticks mutexSpinWindow = nsec(700);
+    /** Producer-side wait when a command ring (or virtqueue) is full:
+     *  the producer spins until the consumer frees a slot. Charged
+     *  once per back-pressured post. */
+    Ticks ringFullWait = usec(1);
 
     // ---- I/O building blocks ----------------------------------------
     /** Writing one virtqueue descriptor (few cache lines). */

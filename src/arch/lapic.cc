@@ -1,5 +1,8 @@
 #include "arch/lapic.h"
 
+#include <algorithm>
+
+#include "sim/fault.h"
 #include "sim/log.h"
 #include "sim/trace.h"
 
@@ -21,6 +24,11 @@ Lapic::~Lapic()
 {
     if (timerEvent_ != invalidEventId)
         eq_.deschedule(timerEvent_);
+    // In-flight IPIs captured a pointer to us; cancel them so the
+    // closures cannot fire into a destroyed object (already-fired
+    // handles are no-ops).
+    for (EventId id : inflightIpis_)
+        eq_.deschedule(id);
 }
 
 void
@@ -33,8 +41,8 @@ Lapic::raise(std::uint8_t vector)
         sink->instant(TraceCategory::Irq, "irq.raise", vector);
 }
 
-void
-Lapic::assertExternal(std::uint8_t vector)
+Lapic *
+Lapic::resolveRedirect()
 {
     Lapic *target = this;
     int hops = 0;
@@ -43,7 +51,22 @@ Lapic::assertExternal(std::uint8_t vector)
         if (++hops > 8)
             panic("Lapic redirection cycle");
     }
-    target->raise(vector);
+    return target;
+}
+
+void
+Lapic::pruneInflight()
+{
+    inflightIpis_.erase(
+        std::remove_if(inflightIpis_.begin(), inflightIpis_.end(),
+                       [this](EventId id) { return !eq_.pending(id); }),
+        inflightIpis_.end());
+}
+
+void
+Lapic::assertExternal(std::uint8_t vector)
+{
+    resolveRedirect()->raise(vector);
 }
 
 int
@@ -83,11 +106,30 @@ Lapic::clear(std::uint8_t vector)
 void
 Lapic::sendIpi(Lapic &dst, std::uint8_t vector)
 {
-    Lapic *target = &dst;
     ipiMetric_.inc();
-    eq_.scheduleIn(costs_.ipiLatency,
-                   [target, vector] { target->raise(vector); },
-                   "ipi");
+    Ticks latency = costs_.ipiLatency;
+    if (FaultInjector *faults = eq_.faultInjector()) {
+        if (faults->fires(FaultSite::IpiDrop)) {
+            // Lost on the interconnect: never becomes pending.
+            if (TraceSink *sink = eq_.traceSink())
+                sink->instant(TraceCategory::Irq, "irq.ipi.lost",
+                              vector);
+            return;
+        }
+        latency += faults->delay(FaultSite::IpiDelay);
+    }
+    // The event captures the destination, not the final target: the
+    // redirect chain is walked when the IPI lands, so redirection
+    // changes during flight behave like the hardware steering.
+    Lapic *target = &dst;
+    EventId id = eq_.scheduleIn(latency,
+                                [target, vector] {
+                                    target->pruneInflight();
+                                    target->resolveRedirect()->raise(
+                                        vector);
+                                },
+                                "ipi");
+    dst.inflightIpis_.push_back(id);
 }
 
 void

@@ -8,6 +8,7 @@
 
 #include <bitset>
 #include <cstdint>
+#include <vector>
 
 #include "arch/cost_model.h"
 #include "sim/event_queue.h"
@@ -70,8 +71,13 @@ class Lapic
     void clear(std::uint8_t vector);
 
     // -- Inter-processor interrupts ------------------------------------
-    /** Send an IPI to @p dst; it becomes pending there after the
-     *  modeled IPI latency. */
+    /**
+     * Send an IPI to @p dst; it becomes pending there after the
+     * modeled IPI latency. The SVt redirection chain is resolved at
+     * delivery time (matching assertExternal), so a redirect installed
+     * while the IPI is in flight still takes effect. A fault plan can
+     * drop or delay the delivery.
+     */
     void sendIpi(Lapic &dst, std::uint8_t vector);
 
     // -- TSC-deadline timer ---------------------------------------------
@@ -96,11 +102,21 @@ class Lapic
     std::uint64_t raisedCount() const { return raised_; }
 
   private:
+    /** Follow the redirect chain to the delivery target (8-hop cycle
+     *  guard, shared by assertExternal and in-flight IPI delivery). */
+    Lapic *resolveRedirect();
+
+    /** Drop handles of already-fired inbound IPI events. */
+    void pruneInflight();
+
     EventQueue &eq_;
     const CostModel &costs_;
     int id_;
     std::bitset<256> pending_;
     EventId timerEvent_ = invalidEventId;
+    /** In-flight IPI events targeting this APIC; the destructor
+     *  deschedules them so their closures cannot outlive us. */
+    std::vector<EventId> inflightIpis_;
     std::uint64_t raised_ = 0;
     Counter raisedMetric_;
     Counter ipiMetric_;

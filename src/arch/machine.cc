@@ -28,7 +28,7 @@ scopeCategory(const std::string &name)
 
 Machine::Machine(MachineTopology topo, CostModel costs,
                  std::uint64_t seed)
-    : topo_(topo), costs_(costs), rng_(seed)
+    : topo_(topo), costs_(costs), rng_(seed), seed_(seed)
 {
     if (topo_.numaNodes < 1 || topo_.coresPerNode < 1 ||
         topo_.threadsPerCore < 1) {
@@ -120,6 +120,26 @@ std::uint64_t
 Machine::counter(const std::string &key) const
 {
     return metrics_.counterValue(key);
+}
+
+void
+Machine::installFaultPlan(const FaultPlan &plan)
+{
+    faults_ = std::make_unique<FaultInjector>(plan, seed_);
+    for (std::size_t i = 0; i < numFaultSites; ++i) {
+        faultMetric_[i] = metrics_.counter(
+            MetricScope::Machine, "fault",
+            std::string("fault.injected.") +
+                faultSiteName(static_cast<FaultSite>(i)));
+    }
+    faults_->setOnInject([this](FaultSite site) {
+        faultMetric_[static_cast<std::size_t>(site)].inc();
+        if (TraceSink *sink = eq_.traceSink()) {
+            sink->instant(TraceCategory::Sim,
+                          std::string("fault.") + faultSiteName(site));
+        }
+    });
+    eq_.setFaultInjector(faults_.get());
 }
 
 MetricsSnapshot

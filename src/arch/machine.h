@@ -6,6 +6,7 @@
 #ifndef SVTSIM_ARCH_MACHINE_H
 #define SVTSIM_ARCH_MACHINE_H
 
+#include <array>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -15,6 +16,7 @@
 #include "arch/cost_model.h"
 #include "arch/smt_core.h"
 #include "sim/event_queue.h"
+#include "sim/fault.h"
 #include "sim/random.h"
 #include "stats/metrics.h"
 
@@ -51,6 +53,7 @@ class Machine
 
     EventQueue &events() { return eq_; }
     Rng &rng() { return rng_; }
+    std::uint64_t seed() const { return seed_; }
 
     /**
      * Attach/detach a trace sink (not owned). While attached and
@@ -108,6 +111,20 @@ class Machine
     void count(const std::string &key, std::uint64_t n = 1);
     std::uint64_t counter(const std::string &key) const;
 
+    // -- Fault injection ---------------------------------------------------
+    /**
+     * Install a fault plan: builds a FaultInjector keyed off this
+     * machine's seed, registers a `fault.injected.<site>` PMU counter
+     * per site and publishes the injector on the event queue so hook
+     * points (rings, LAPICs, devices) can consult it. Installing a
+     * new plan replaces the previous one; the decision streams
+     * restart from the seed.
+     */
+    void installFaultPlan(const FaultPlan &plan);
+
+    /** The installed injector, or null when no plan is active. */
+    FaultInjector *faults() { return faults_.get(); }
+
     /**
      * Allocate the next local-APIC id on this machine. Per-machine
      * (not process-global) so concurrently constructed machines get
@@ -131,6 +148,7 @@ class Machine
     CostModel costs_;
     EventQueue eq_;
     Rng rng_;
+    std::uint64_t seed_;
     /** Declared before cores_: cores (and their lapics) intern metric
      *  handles during construction. */
     MetricsRegistry metrics_;
@@ -140,6 +158,8 @@ class Machine
      *  absent/disabled at pushScope() time. */
     std::vector<std::size_t> scopeSpans_;
     std::map<std::string, Ticks> buckets_;
+    std::unique_ptr<FaultInjector> faults_;
+    std::array<Counter, numFaultSites> faultMetric_;
     int nextApicId_ = 1000;
 };
 

@@ -1,5 +1,6 @@
 #include "hv/channel.h"
 
+#include "sim/fault.h"
 #include "sim/log.h"
 #include "sim/trace.h"
 
@@ -97,6 +98,8 @@ CommandRing::CommandRing(Machine &machine, std::string name,
     MetricsRegistry &reg = machine_.metrics();
     postedMetric_ =
         reg.counter(MetricScope::Svt, "channel", name_ + ".posted");
+    fullMetric_ =
+        reg.counter(MetricScope::Svt, "channel", name_ + ".full");
     depthMetric_ =
         reg.gauge(MetricScope::Svt, "channel", name_ + ".depth");
     wakeMetric_ = reg.histogram(MetricScope::Svt, "channel",
@@ -113,12 +116,24 @@ CommandRing::noteDepth()
         sink->counter(name_ + ".depth", depth);
 }
 
-void
+bool
 CommandRing::post(const ChannelMessage &msg)
 {
-    if (ring_.size() >= capacity_)
-        panic("CommandRing overflow (capacity %zu)", capacity_);
     const CostModel &costs = machine_.costs();
+    if (ring_.size() >= capacity_) {
+        // Producer back-pressure: the consumer stalled and the ring
+        // filled, so the producer waits for a free slot (the SW SVt
+        // protocol is request/response, so in correct operation depth
+        // never exceeds one and this path only triggers under fault
+        // plans or protocol bugs — worth a counter, not a panic).
+        ++full_;
+        fullMetric_.inc();
+        SVTSIM_TRACE_INSTANT(machine_.traceSink(),
+                             TraceCategory::Channel, "ring.full");
+        // Charge the wait; the message still lands (the consumer will
+        // drain it in order), so no command is ever silently lost.
+        machine_.consume(costs.ringFullWait);
+    }
     SVTSIM_TRACE_INSTANT(machine_.traceSink(), TraceCategory::Channel,
                          msg.command == SwSvtCommand::VmTrap
                              ? "ring.post.vm_trap"
@@ -126,10 +141,20 @@ CommandRing::post(const ChannelMessage &msg)
     // Descriptor store plus the register/trap-info payload copy.
     machine_.consume(costs.ringPost +
                      costs.ringPayloadValue * ringPayloadValues);
+    FaultInjector *faults = machine_.events().faultInjector();
+    if (faults && faults->fires(FaultSite::RingPostDrop)) {
+        // The doorbell store is lost: the producer paid the costs but
+        // the waiter never observes the command.
+        SVTSIM_TRACE_INSTANT(machine_.traceSink(),
+                             TraceCategory::Channel,
+                             "ring.post.dropped");
+        return false;
+    }
     ring_.push_back(msg);
     ++posted_;
     postedMetric_.inc();
     noteDepth();
+    return true;
 }
 
 ChannelMessage
@@ -153,6 +178,34 @@ void
 CommandRing::recordWake(Ticks latency)
 {
     wakeMetric_.record(latency);
+}
+
+void
+CommandRing::consumeWake(const ChannelModel &channel)
+{
+    const CostModel &costs = machine_.costs();
+    FaultInjector *faults = machine_.events().faultInjector();
+    if (faults && faults->fires(FaultSite::RingSpuriousWake)) {
+        // Spurious mwait wakeup: the waiter resumes, finds no
+        // command, and pays a full re-arm + wake round.
+        SVTSIM_TRACE_INSTANT(machine_.traceSink(),
+                             TraceCategory::Channel,
+                             "ring.wake.spurious");
+        machine_.consume(channel.waiterSetup(costs) +
+                         channel.wakeLatency(costs));
+    }
+    Ticks wake = channel.wakeLatency(costs);
+    if (faults)
+        wake += faults->delay(FaultSite::RingDoorbellDelay);
+    machine_.consume(channel.waiterSetup(costs) + wake);
+    recordWake(wake);
+}
+
+void
+CommandRing::clear()
+{
+    ring_.clear();
+    noteDepth();
 }
 
 } // namespace svtsim

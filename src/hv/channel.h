@@ -114,19 +114,25 @@ class CommandRing
     /**
      * @param machine Cost accounting.
      * @param name Instance name; prefixes this ring's PMU metrics
-     *        (`<name>.posted`, `<name>.depth`, `<name>.wake_latency`)
-     *        and its Chrome-trace counter track.
-     * @param capacity Ring capacity; posting to a full ring panics
-     *        (the SW SVt protocol is strictly request/response, so
-     *        depth never exceeds one in correct operation).
+     *        (`<name>.posted`, `<name>.depth`, `<name>.wake_latency`,
+     *        `<name>.full`) and its Chrome-trace counter track.
+     * @param capacity Ring capacity; posting to a full ring models
+     *        producer back-pressure (the producer waits for a slot,
+     *        charging ringFullWait and bumping `<name>.full`).
      */
     CommandRing(Machine &machine, std::string name,
                 std::size_t capacity = 8);
 
     const std::string &name() const { return name_; }
 
-    /** Post a message; charges ring-post plus payload-copy costs. */
-    void post(const ChannelMessage &msg);
+    /**
+     * Post a message; charges ring-post plus payload-copy costs.
+     * A full ring back-pressures the producer instead of panicking.
+     *
+     * @return False when a fault plan dropped the post (the doorbell
+     *         store was lost and the message is not in the ring).
+     */
+    bool post(const ChannelMessage &msg);
 
     /** Non-destructively check for a pending message. */
     bool hasMessage() const { return !ring_.empty(); }
@@ -141,8 +147,24 @@ class CommandRing
      *  resumes) into this ring's mwait-wakeup histogram. */
     void recordWake(Ticks latency);
 
+    /**
+     * Model the consumer observing this ring: monitor/futex arm plus
+     * the wake latency of @p channel, recorded into the wake
+     * histogram. A fault plan can stretch the wake (delayed doorbell)
+     * or insert a spurious wakeup, which pays a full arm+wake round
+     * before re-arming.
+     *
+     * @pre hasMessage() — callers wait for the message first.
+     */
+    void consumeWake(const ChannelModel &channel);
+
+    /** Discard all queued messages without charging time (watchdog
+     *  fallback tears the protocol state down). */
+    void clear();
+
     std::size_t depth() const { return ring_.size(); }
     std::uint64_t postedCount() const { return posted_; }
+    std::uint64_t fullCount() const { return full_; }
 
   private:
     /** Update the depth gauge and mirror it as a trace counter. */
@@ -153,7 +175,9 @@ class CommandRing
     std::size_t capacity_;
     std::deque<ChannelMessage> ring_;
     std::uint64_t posted_ = 0;
+    std::uint64_t full_ = 0;
     Counter postedMetric_;
+    Counter fullMetric_;
     Gauge depthMetric_;
     LatencyHistogram wakeMetric_;
 };

@@ -10,7 +10,9 @@
 #include "hv/vectors.h"
 #include "hv/virt_stack.h"
 #include "hv/virt_stack_impl.h"
+#include "sim/fault.h"
 #include "sim/log.h"
+#include "sim/trace.h"
 
 namespace svtsim {
 
@@ -315,6 +317,14 @@ VirtStack::reflectToL1(const ExitInfo &info)
         serviceL1Housekeeping(false);
         return reflectBaseline(info);
       case VirtMode::SwSvt:
+        maybeRepromoteSvt();
+        if (svtDegraded_) {
+            // Watchdog fallback: until the quiet period ends, exits
+            // take the conventional nested path (one effective
+            // thread, so housekeeping is serviced serially).
+            serviceL1Housekeeping(false);
+            return reflectBaseline(info);
+        }
         serviceL1Housekeeping(true);
         return reflectSwSvt(info);
       case VirtMode::HwSvt:
@@ -381,6 +391,7 @@ bool
 VirtStack::reflectSwSvt(const ExitInfo &info)
 {
     const CostModel &c = machine_.costs();
+    ChannelMessage trap;
     {
         TimeScope l0(machine_, "stage.l0_handler");
         machine_.consume(c.handlerDispatch + c.nestedExitCheck);
@@ -388,24 +399,30 @@ VirtStack::reflectSwSvt(const ExitInfo &info)
         machine_.consume(c.nestedStateMachine);
         // CMD_VM_TRAP with the register payload (the prototype has no
         // cross-thread register file access).
-        ChannelMessage msg;
-        msg.command = SwSvtCommand::VmTrap;
-        msg.info = info;
+        trap.command = SwSvtCommand::VmTrap;
+        trap.info = info;
         for (int i = 0; i < numGprs; ++i)
-            msg.gprs[static_cast<std::size_t>(i)] =
+            trap.gprs[static_cast<std::size_t>(i)] =
                 vcpuL2InL0_->gpr(static_cast<Gpr>(i));
-        ringToSvt_->post(msg);
+        ringToSvt_->post(trap);
     }
     serviceSvtThreadPreemption();
+    if (svtDegraded_) {
+        // The watchdog tore the handshake down mid-round (Section 5.3
+        // stall); complete this exit on the conventional path.
+        return reflectBaseline(info);
+    }
+    if (!svtAwaitRing(*ringToSvt_, trap)) {
+        svtFallback("CMD_VM_TRAP lost");
+        return reflectBaseline(info);
+    }
     ChannelMessage msg;
     {
         // The SVt-thread observes the command (monitor/mwait wake)
         // and reads the payload; the ring pop consumes time and must
         // stay inside the channel stage or its ticks go unattributed.
         TimeScope ch(machine_, "stage.channel");
-        Ticks wake = config_.channel.wakeLatency(c);
-        machine_.consume(config_.channel.waiterSetup(c) + wake);
-        ringToSvt_->recordWake(wake);
+        ringToSvt_->consumeWake(config_.channel);
         msg = ringToSvt_->pop();
     }
     for (int i = 0; i < numGprs; ++i) {
@@ -413,6 +430,7 @@ VirtStack::reflectSwSvt(const ExitInfo &info)
                             msg.gprs[static_cast<std::size_t>(i)]);
     }
     bool resume;
+    ChannelMessage resp;
     {
         TimeScope l1(machine_, "stage.l1_handler");
         l1Engine_ = engines_[1].get();
@@ -423,7 +441,6 @@ VirtStack::reflectSwSvt(const ExitInfo &info)
         l1Engine_ = nullptr;
         l1Vmcs_ = nullptr;
         // CMD_VM_RESUME with the updated register payload.
-        ChannelMessage resp;
         resp.command = SwSvtCommand::VmResume;
         resp.info = msg.info;
         resp.l2Halted = !resume;
@@ -432,13 +449,25 @@ VirtStack::reflectSwSvt(const ExitInfo &info)
                 vcpuL2InL1_->gpr(static_cast<Gpr>(i));
         ringFromSvt_->post(resp);
     }
-    ChannelMessage resp;
+    if (!svtAwaitRing(*ringFromSvt_, resp)) {
+        // The response is gone beyond retries, but the L1 handler did
+        // run and vcpuL2InL1_ holds the updated registers: degrade and
+        // sync them the conventional (vmread-grade) way.
+        svtFallback("CMD_VM_RESUME lost");
+        TimeScope l0(machine_, "stage.l0_handler");
+        machine_.consume(c.lazySyncValue * c.lazySyncValues);
+        for (int i = 0; i < numGprs; ++i) {
+            vcpuL2InL0_->setGpr(static_cast<Gpr>(i),
+                                vcpuL2InL1_->gpr(static_cast<Gpr>(i)));
+        }
+        if (resume)
+            transformVmcs12ToVmcs02();
+        return resume;
+    }
     {
         // L0 observes the response and reads the payload back.
         TimeScope ch(machine_, "stage.channel");
-        Ticks wake = config_.channel.wakeLatency(c);
-        machine_.consume(config_.channel.waiterSetup(c) + wake);
-        ringFromSvt_->recordWake(wake);
+        ringFromSvt_->consumeWake(config_.channel);
         resp = ringFromSvt_->pop();
     }
     for (int i = 0; i < numGprs; ++i) {
@@ -585,26 +614,88 @@ VirtStack::serviceSvtThreadPreemption()
     Ticks duration = pendingPreemption_;
     pendingPreemption_ = 0;
     const CostModel &c = machine_.costs();
+    const SvtWatchdogConfig &wd = config_.svtWatchdog;
     preemptionMetric_.inc();
 
     // Section 5.3 scenario: a kernel thread in the sibling preempts
-    // the SVt-thread and IPIs the L1 vCPU, spinning for the ack.
-    vcpuL1_->lapic().raise(vec::l1Ipi);
+    // the SVt-thread and IPIs the L1 vCPU, spinning for the ack. The
+    // IPI is a real cross-context delivery — it has latency, and a
+    // fault plan can delay or drop it.
+    core_.lapic(1).sendIpi(vcpuL1_->lapic(), vec::l1Ipi);
+
     if (!config_.svtBlockedFix) {
-        throw DeadlockError(
-            "SW SVt interrupt deadlock (paper Section 5.3): the "
-            "SVt-thread was preempted by a kernel thread that IPIs "
-            "the L1 vCPU and waits, while L0 waits for CMD_VM_RESUME "
-            "and never runs the L1 vCPU. Enable "
-            "StackConfig::svtBlockedFix.");
+        if (!wd.enabled) {
+            throw DeadlockError(
+                "SW SVt interrupt deadlock (paper Section 5.3): the "
+                "SVt-thread was preempted by a kernel thread that "
+                "IPIs the L1 vCPU and waits, while L0 waits for "
+                "CMD_VM_RESUME and never runs the L1 vCPU. Enable "
+                "StackConfig::svtBlockedFix (or svtWatchdog for "
+                "graceful degradation).");
+        }
+        // No SVT_BLOCKED fix, but the heartbeat watchdog notices the
+        // stalled handshake: degrade, reschedule the L1 vCPU on the
+        // now-free context (draining the IPI) and carry on.
+        TimeScope t(machine_, "stage.svt_watchdog");
+        machine_.consume(wd.timeout);
+        svtFallback("section 5.3 preemption stall");
+        vcpuL1_->lapic().raise(vec::l1Ipi);
+        drainL1Ipis();
+        machine_.consume(duration);
+        return;
     }
 
     // The fix: while waiting for the response, L0 checks for pending
     // interrupts to the L1 vCPU and injects a synthetic SVT_BLOCKED
     // trap so the vCPU enables interrupts and drains them, then
-    // yields straight back.
+    // yields straight back. First wait for the IPI to land (delivery
+    // latency; a fault plan can delay or drop it).
+    Ticks deadline =
+        machine_.now() + (wd.enabled ? wd.timeout : c.ipiLatency * 16);
+    while (!vcpuL1_->lapic().hasPending() &&
+           machine_.now() < deadline) {
+        Ticks next = machine_.events().nextEventTime();
+        if (next > deadline) {
+            machine_.idleUntil(deadline);
+            break;
+        }
+        machine_.idleUntil(next);
+    }
+    if (!vcpuL1_->lapic().hasPending()) {
+        // The IPI never arrived: the spinner waits for an ack that
+        // cannot come, so even the SVT_BLOCKED fix cannot make
+        // progress (the fix assumes interrupt delivery works, and the
+        // fault violated that assumption).
+        if (!wd.enabled) {
+            throw DeadlockError(
+                "SW SVt interrupt deadlock (paper Section 5.3, IPI "
+                "lost): the preempting kernel thread's IPI to the L1 "
+                "vCPU was never delivered, so the SVT_BLOCKED fix has "
+                "nothing to drain and the spinner waits forever. "
+                "Enable StackConfig::svtWatchdog to degrade "
+                "gracefully.");
+        }
+        svtFallback("section 5.3 IPI lost");
+        // Watchdog recovery: L0 re-raises the vector directly (it
+        // knows the kernel thread is spinning for the ack).
+        vcpuL1_->lapic().raise(vec::l1Ipi);
+        drainL1Ipis();
+        machine_.consume(duration);
+        return;
+    }
+
     svtBlockedMetric_.inc();
     machine_.consume(c.injectPrepare);
+    drainL1Ipis();
+    // With the IPI acked, the preempting thread finishes its work and
+    // the SVt-thread gets the CPU back.
+    machine_.consume(duration);
+}
+
+void
+VirtStack::drainL1Ipis()
+{
+    const CostModel &c = machine_.costs();
     enterL1Window();
     int v;
     while ((v = vcpuL1_->lapic().ack()) >= 0) {
@@ -613,9 +704,69 @@ VirtStack::serviceSvtThreadPreemption()
         machine_.consume(c.eoiWrite);
     }
     leaveL1Window();
-    // With the IPI acked, the preempting thread finishes its work and
-    // the SVt-thread gets the CPU back.
-    machine_.consume(duration);
+}
+
+// -------------------------------------------- SW SVt heartbeat watchdog
+
+bool
+VirtStack::svtAwaitRing(CommandRing &ring, const ChannelMessage &repost)
+{
+    if (ring.hasMessage())
+        return true;
+    const SvtWatchdogConfig &wd = config_.svtWatchdog;
+    if (!wd.enabled) {
+        throw DeadlockError(
+            "SW SVt handshake hang: no command ever arrived on " +
+            ring.name() +
+            " (a lost doorbell with no watchdog stalls the "
+            "L0<->SVt-thread handshake forever, the Section 5.3 "
+            "failure mode); enable StackConfig::svtWatchdog to "
+            "degrade gracefully");
+    }
+    TimeScope t(machine_, "stage.svt_watchdog");
+    for (int attempt = 1; attempt <= wd.maxRetries; ++attempt) {
+        // The heartbeat deadline passes; retry by re-ringing the
+        // doorbell, with linear backoff between attempts.
+        machine_.consume(wd.timeout +
+                         static_cast<Ticks>(attempt - 1) * wd.backoff);
+        svtWatchdogRetryMetric_.inc();
+        SVTSIM_TRACE_INSTANT(machine_.traceSink(),
+                             TraceCategory::Channel,
+                             "svt.watchdog.retry");
+        if (ring.post(repost) && ring.hasMessage())
+            return true;
+    }
+    return false;
+}
+
+void
+VirtStack::svtFallback(const char *why)
+{
+    // Tear the handshake down: discard ring state, reroute exits to
+    // the conventional nested trap path and start the quiet period.
+    ringToSvt_->clear();
+    ringFromSvt_->clear();
+    svtDegraded_ = true;
+    svtRepromoteAt_ = machine_.now() + config_.svtWatchdog.quietPeriod;
+    svtFallbackMetric_.inc();
+    SVTSIM_TRACE_INSTANT(machine_.traceSink(), TraceCategory::Svt,
+                         "svt.fallback");
+    inform(std::string("SW SVt watchdog: degrading to the "
+                       "conventional nested path (") +
+           why + ")");
+}
+
+void
+VirtStack::maybeRepromoteSvt()
+{
+    if (!svtDegraded_ || machine_.now() < svtRepromoteAt_)
+        return;
+    // The quiet period elapsed without further trouble: re-arm the
+    // SW SVt handshake.
+    svtDegraded_ = false;
+    svtRepromoteMetric_.inc();
+    SVTSIM_TRACE_INSTANT(machine_.traceSink(), TraceCategory::Svt,
+                         "svt.repromote");
 }
 
 // ------------------------------------------ L1-grade single-level traps

@@ -45,6 +45,22 @@ validateStackConfig(const StackConfig &config)
               placementName(config.channel.placement), mode);
     }
 
+    if (config.svtWatchdog.enabled) {
+        if (config.mode != VirtMode::SwSvt) {
+            fatal("StackConfig: svtWatchdog guards the SW SVt "
+                  "L0<->SVt-thread handshake, which mode %s does not "
+                  "have; disable svtWatchdog or use VirtMode::SwSvt",
+                  mode);
+        }
+        if (config.svtWatchdog.timeout <= 0 ||
+            config.svtWatchdog.maxRetries < 1 ||
+            config.svtWatchdog.backoff < 0 ||
+            config.svtWatchdog.quietPeriod <= 0) {
+            fatal("StackConfig: svtWatchdog needs timeout > 0, "
+                  "maxRetries >= 1, backoff >= 0 and quietPeriod > 0");
+        }
+    }
+
     if (!config.svtBlockedFix && !isSvtMode(config.mode)) {
         fatal("StackConfig: svtBlockedFix=false disables the Section "
               "5.3 SVT_BLOCKED deadlock fix in the SVt trap path, but "

@@ -27,6 +27,31 @@ enum class VirtMode
 
 const char *virtModeName(VirtMode mode);
 
+/**
+ * Heartbeat watchdog on the SW SVt L0<->SVt-thread handshake.
+ *
+ * The prototype's protocol is one missed wakeup away from a hang
+ * (Section 5.3); with the watchdog enabled, a handshake step that
+ * misses its deadline is retried with linear backoff (re-ringing the
+ * doorbell) and, when retries are exhausted, the stack degrades from
+ * SW SVt to the conventional nested trap path. After quietPeriod of
+ * degraded operation it re-promotes to SW SVt. Degradations and
+ * re-promotions surface as the `svt.fallback` / `svt.repromote` PMU
+ * counters and trace instants.
+ */
+struct SvtWatchdogConfig
+{
+    bool enabled = false;
+    /** Heartbeat deadline for one handshake step. */
+    Ticks timeout = usec(50);
+    /** Doorbell retries before degrading. */
+    int maxRetries = 3;
+    /** Extra wait added per successive retry (linear backoff). */
+    Ticks backoff = usec(25);
+    /** Degraded time before re-promoting to SW SVt. */
+    Ticks quietPeriod = usec(500);
+};
+
 /** Tuning knobs of the stack (defaults reproduce the paper's setup). */
 struct StackConfig
 {
@@ -43,6 +68,10 @@ struct StackConfig
     /** Apply the Section 5.3 SVT_BLOCKED deadlock fix. Turning this
      *  off demonstrates the interrupt deadlock in tests. */
     bool svtBlockedFix = true;
+
+    /** SW SVt heartbeat watchdog with graceful degradation (off by
+     *  default: the paper's prototype assumes the happy path). */
+    SvtWatchdogConfig svtWatchdog{};
 
     /** Eagerly load full guest state at VM entry instead of lazily
      *  (ablation; the paper's systems are lazy, Section 3.1). */
@@ -74,6 +103,8 @@ struct StackConfig
  * Rules:
  *  - svtDirectReflect models the Section 3.1 HW SVt bypass: HwSvt only.
  *  - channel tuning configures the SW SVt command rings: SwSvt only.
+ *  - svtWatchdog guards the SW SVt handshake: SwSvt only, and its
+ *    timeout/retry/backoff/quiet-period parameters must be sane.
  *  - svtBlockedFix=false disables the Section 5.3 deadlock fix in the
  *    SVt trap path: requires an SVt mode (SwSvt or HwSvt).
  *  - hwVmcsShadowing=false only changes behaviour when a nested L1

@@ -146,6 +146,12 @@ VirtStack::setupCommon()
         reg.counter(MetricScope::Svt, "hv", "swsvt.svt_blocked");
     swsvtPairedMetric_ =
         reg.counter(MetricScope::Svt, "hv", "swsvt.paired");
+    svtFallbackMetric_ =
+        reg.counter(MetricScope::Svt, "hv", "svt.fallback");
+    svtRepromoteMetric_ =
+        reg.counter(MetricScope::Svt, "hv", "svt.repromote");
+    svtWatchdogRetryMetric_ =
+        reg.counter(MetricScope::Svt, "hv", "svt.watchdog.retry");
     for (int level = 0; level < 3; ++level) {
         irqDeliveredMetric_[static_cast<std::size_t>(level)] =
             reg.counter(level == 0   ? MetricScope::L0

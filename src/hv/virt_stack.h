@@ -141,6 +141,10 @@ class VirtStack
     /** Nested exits reflected to L1 so far. */
     std::uint64_t reflectedExits() const { return reflected_; }
 
+    /** SW SVt: whether the watchdog degraded the stack onto the
+     *  conventional nested trap path (until the quiet period ends). */
+    bool svtDegraded() const { return svtDegraded_; }
+
     /** Hardware context running L2 guest register state. */
     HwContext &l2Context();
 
@@ -212,6 +216,29 @@ class VirtStack
     /** SW SVt: handle a pending preemption + IPI against the
      *  SVt-thread (Section 5.3); returns extra delay consumed. */
     void serviceSvtThreadPreemption();
+
+    // -- SW SVt watchdog (graceful degradation) --------------------------
+    /**
+     * Wait for a message on @p ring under the heartbeat watchdog:
+     * each missed deadline re-posts @p repost (re-ringing the
+     * doorbell) with linear backoff. Without the watchdog a missed
+     * message raises DeadlockError (the Section 5.3 hang).
+     *
+     * @return True when a message arrived; false when retries were
+     *         exhausted (caller degrades via svtFallback()).
+     */
+    bool svtAwaitRing(CommandRing &ring, const ChannelMessage &repost);
+
+    /** Degrade from SW SVt to the conventional nested trap path:
+     *  reset the rings, start the quiet period, bump svt.fallback. */
+    void svtFallback(const char *why);
+
+    /** Re-promote to SW SVt once the quiet period has elapsed. */
+    void maybeRepromoteSvt();
+
+    /** Deliver every pending L1 vector through an L1 window (the
+     *  SVT_BLOCKED drain loop of Section 5.3). */
+    void drainL1Ipis();
 
     // -- L1's own exits (single-level rounds) ---------------------------------
     /**
@@ -311,6 +338,12 @@ class VirtStack
     /** Armed Section 5.3 preemption scenario. */
     Ticks pendingPreemption_ = 0;
 
+    /** Watchdog degradation state: while true, SW SVt exits route
+     *  through the conventional path. */
+    bool svtDegraded_ = false;
+    /** When the degraded stack may re-promote to SW SVt. */
+    Ticks svtRepromoteAt_ = 0;
+
     /** Accumulated L1 housekeeping work not yet serviced. */
     Ticks l1Housekeeping_ = 0;
 
@@ -370,6 +403,9 @@ class VirtStack
     Counter preemptionMetric_;
     Counter svtBlockedMetric_;
     Counter swsvtPairedMetric_;
+    Counter svtFallbackMetric_;
+    Counter svtRepromoteMetric_;
+    Counter svtWatchdogRetryMetric_;
     std::array<Counter, 3> irqDeliveredMetric_;
     /** The HW SVt exit path bumps the same vmx.exit* slots VmxEngine
      *  registers (an SVt trap replaces the exit microcode). */

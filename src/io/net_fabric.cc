@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "sim/fault.h"
 #include "sim/log.h"
 
 namespace svtsim {
@@ -52,6 +53,8 @@ NetFabric::transmit(const NetPacket &pkt, Ticks &free_at,
     Ticks done = start + serialization(pkt.bytes);
     free_at = done;
     Ticks arrival = done + latency_;
+    if (FaultInjector *faults = machine_.events().faultInjector())
+        arrival += faults->delay(FaultSite::VirtioCompletionDelay);
     auto &h = handler;
     NetPacket copy = pkt;
     std::uint64_t *ctr = &counter;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "sim/fault.h"
 #include "sim/log.h"
 
 namespace svtsim {
@@ -38,6 +39,8 @@ RamDisk::submit(std::uint64_t id, std::uint64_t lba,
     (void)lba;
     Ticks start = std::max(machine_.now(), freeAt_);
     Ticks done = start + serviceTime(bytes, write);
+    if (FaultInjector *faults = machine_.events().faultInjector())
+        done += faults->delay(FaultSite::VirtioCompletionDelay);
     freeAt_ = done;
     machine_.events().schedule(done, [this, id] {
         ++completed_;

@@ -1,5 +1,6 @@
 #include "io/virtqueue.h"
 
+#include "sim/fault.h"
 #include "sim/log.h"
 #include "sim/trace.h"
 
@@ -16,6 +17,8 @@ Virtqueue::Virtqueue(Machine &machine, std::string name,
         reg.counter(MetricScope::Machine, "virtio", name_ + ".posted");
     kicksMetric_ =
         reg.counter(MetricScope::Machine, "virtio", name_ + ".kicks");
+    fullMetric_ =
+        reg.counter(MetricScope::Machine, "virtio", name_ + ".full");
     availDepthMetric_ = reg.gauge(MetricScope::Machine, "virtio",
                                   name_ + ".avail_depth");
 }
@@ -33,8 +36,18 @@ Virtqueue::noteAvailDepth()
 bool
 Virtqueue::post(const VirtioBuffer &buf)
 {
-    if (avail_.size() >= size_)
-        panic("Virtqueue %s available-ring overflow", name_.c_str());
+    FaultInjector *faults = machine_.events().faultInjector();
+    bool pressured =
+        faults && faults->fires(FaultSite::VirtioBackpressure);
+    if (avail_.size() >= size_ || pressured) {
+        // Back-pressure, not a protocol violation: the driver spins
+        // until the device frees a slot. The buffer is never lost.
+        ++full_;
+        fullMetric_.inc();
+        SVTSIM_TRACE_INSTANT(machine_.traceSink(), TraceCategory::Io,
+                             "virtqueue.full." + name_);
+        machine_.consume(machine_.costs().ringFullWait);
+    }
     machine_.consume(machine_.costs().virtqueueDescriptor);
     avail_.push_back(buf);
     ++posted_;

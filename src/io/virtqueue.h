@@ -54,6 +54,11 @@ class Virtqueue
     // -- Driver side --------------------------------------------------
     /**
      * Post a buffer on the available ring (descriptor write costs).
+     * A full available ring back-pressures the producer: the driver
+     * is charged CostModel::ringFullWait (spinning until the device
+     * frees a slot) and the `<name>.full` counter increments; the
+     * buffer is never lost. A FaultSite::VirtioBackpressure injection
+     * forces the same stall on a non-full ring.
      * @return True if the device must be notified (kick needed);
      *         false while the device is still processing the ring.
      */
@@ -95,6 +100,7 @@ class Virtqueue
     // -- Statistics ------------------------------------------------------
     std::uint64_t postedCount() const { return posted_; }
     std::uint64_t kicksNeeded() const { return kicks_; }
+    std::uint64_t fullCount() const { return full_; }
 
   private:
     /** Update the avail-depth gauge and mirror it as a trace counter. */
@@ -108,8 +114,10 @@ class Virtqueue
     bool deviceRunning_ = false;
     std::uint64_t posted_ = 0;
     std::uint64_t kicks_ = 0;
+    std::uint64_t full_ = 0;
     Counter postedMetric_;
     Counter kicksMetric_;
+    Counter fullMetric_;
     Gauge availDepthMetric_;
 };
 

@@ -31,6 +31,7 @@
 namespace svtsim {
 
 class TraceSink;
+class FaultInjector;
 
 /** Handle used to cancel a scheduled event. */
 using EventId = std::uint64_t;
@@ -129,6 +130,23 @@ class EventQueue
     TraceSink *traceSink() const { return traceSink_; }
     void setTraceSink(TraceSink *sink) { traceSink_ = sink; }
 
+    /**
+     * Optional fault injector, published here (like the trace sink)
+     * so hook points that only hold the queue — LAPICs, rings,
+     * devices — can reach it. Not owned; null means no faults.
+     */
+    FaultInjector *faultInjector() const { return faultInjector_; }
+    void setFaultInjector(FaultInjector *inj) { faultInjector_ = inj; }
+
+    /**
+     * Whether @p id refers to a still-pending event. Lets owners of
+     * tracked event handles prune fired ones without descheduling.
+     */
+    bool pending(EventId id) const
+    {
+        return records_.find(id) != records_.end();
+    }
+
   private:
     /** Heap key; the closure lives in records_ so cancellation can
      *  release it eagerly. */
@@ -170,6 +188,7 @@ class EventQueue
     EventId nextId_ = 1;
     std::uint64_t executed_ = 0;
     TraceSink *traceSink_ = nullptr;
+    FaultInjector *faultInjector_ = nullptr;
 };
 
 /**

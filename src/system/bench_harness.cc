@@ -95,7 +95,8 @@ BenchHarness::usage(std::ostream &os, int status) const
 {
     os << "usage: " << name_
        << " [--jobs=N] [--seed=S] [--trace=FILE] [--json=FILE]"
-          " [--metrics=FILE] [--breakdown] [--list]\n\n"
+          " [--metrics=FILE] [--faults=SPEC] [--breakdown]"
+          " [--list]\n\n"
        << title_ << "\n\n"
        << "  --jobs=N        run scenarios on N worker threads\n"
        << "                  (0 = one per hardware thread; default 1)\n"
@@ -107,6 +108,10 @@ BenchHarness::usage(std::ostream &os, int status) const
           "(\"-\" = stdout)\n"
        << "  --metrics=FILE  write the per-scenario simulated-PMU "
           "dump (\"-\" = stdout)\n"
+       << "  --faults=SPEC   inject deterministic faults; SPEC is "
+          "';'-separated\n"
+       << "                  site@trigger clauses, e.g. "
+          "'ipi.drop@n3;ipi.delay@p0.1,d2us'\n"
        << "  --breakdown     print a Table 1-style breakdown per "
           "scenario\n"
        << "  --list          list scenarios and exit\n"
@@ -128,6 +133,10 @@ BenchHarness::writeJson(std::ostream &os, const SweepResults &results,
     os << ",\n  \"title\": ";
     jsonString(os, title_);
     os << ",\n  \"seed\": " << options.seed;
+    if (!options.faultsSpec.empty()) {
+        os << ",\n  \"faults\": ";
+        jsonString(os, options.faultsSpec);
+    }
     os << ",\n  \"scenarios\": [";
     bool first_scenario = true;
     for (const auto &r : results.all()) {
@@ -170,6 +179,10 @@ BenchHarness::writeMetricsJson(std::ostream &os,
     os << ",\n  \"title\": ";
     jsonString(os, title_);
     os << ",\n  \"seed\": " << options.seed;
+    if (!options.faultsSpec.empty()) {
+        os << ",\n  \"faults\": ";
+        jsonString(os, options.faultsSpec);
+    }
     os << ",\n  \"scenarios\": [";
     bool first = true;
     for (const auto &r : results.all()) {
@@ -232,6 +245,15 @@ BenchHarness::main(int argc, char **argv)
             options.jsonPath = value("--json=");
         } else if (arg.rfind("--metrics=", 0) == 0) {
             options.metricsPath = value("--metrics=");
+        } else if (arg.rfind("--faults=", 0) == 0) {
+            options.faultsSpec = value("--faults=");
+            try {
+                FaultPlan::parse(options.faultsSpec);
+            } catch (const FatalError &e) {
+                std::cerr << name_ << ": bad --faults value: "
+                          << e.what() << "\n";
+                return usage(std::cerr, 2);
+            }
         } else if (arg == "--breakdown") {
             options.breakdown = true;
         } else if (customMain_) {
@@ -260,6 +282,8 @@ BenchHarness::main(int argc, char **argv)
     sweep_options.jobs = options.jobs;
     sweep_options.baseSeed = options.seed;
     sweep_options.tracePath = options.tracePath;
+    if (!options.faultsSpec.empty())
+        sweep_options.faults = FaultPlan::parse(options.faultsSpec);
 
     SweepResults results;
     try {

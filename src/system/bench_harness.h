@@ -5,8 +5,8 @@
  * Every bench binary declares its scenarios (the sweep) and a report
  * callback (the tables), then delegates main() to a BenchHarness. The
  * harness owns the whole CLI surface — `--jobs`, `--seed`, `--trace`,
- * `--json`, `--metrics`, `--breakdown`, `--list`, `--help` — runs the
- * sweep on the deterministic
+ * `--json`, `--metrics`, `--faults`, `--breakdown`, `--list`,
+ * `--help` — runs the sweep on the deterministic
  * parallel engine, writes machine-readable JSON results and invokes
  * the report with results in declaration order. Output (tables, JSON,
  * per-scenario tick counts) is byte-identical for any `--jobs` value.
@@ -43,6 +43,9 @@ struct BenchOptions
     /** --metrics=FILE: per-scenario simulated-PMU dump ("-" for
      *  stdout). */
     std::string metricsPath;
+    /** --faults=SPEC: fault plan installed on every scenario's
+     *  machine (see FaultPlan::parse for the grammar). */
+    std::string faultsSpec;
     /** --breakdown: print the Table 1-style per-scenario report. */
     bool breakdown = false;
 };

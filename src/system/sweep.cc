@@ -94,6 +94,8 @@ SweepRunner::runOne(const Scenario &scenario,
                 : NestedSystem(scenario.mode, config, result.seed_);
         ScopedTrace trace(sys.machine(), options.tracePath,
                           scenario.name);
+        if (!options.faults.empty())
+            sys.machine().installFaultPlan(options.faults);
         scenario.run(sys, result);
         result.finalTicks_ = sys.machine().now();
         result.metricsSnapshot_ = sys.machine().snapshotMetrics();

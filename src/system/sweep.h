@@ -31,6 +31,7 @@
 #include <utility>
 #include <vector>
 
+#include "sim/fault.h"
 #include "stats/metrics.h"
 #include "system/nested_system.h"
 
@@ -150,6 +151,11 @@ struct SweepOptions
     /** When non-empty, each scenario exports a trace labeled with its
      *  name (see ScopedTrace). */
     std::string tracePath;
+    /** Fault plan installed on every scenario's machine before the run
+     *  callback executes (see FaultPlan::parse). Per-site streams are
+     *  seeded from the scenario's seed, so injections stay part of the
+     *  deterministic fingerprint regardless of jobs. */
+    FaultPlan faults{};
 };
 
 /**

@@ -816,11 +816,16 @@ TEST(Channel, RingProtocol)
     auto got = ring.pop();
     EXPECT_EQ(got.gprs[0], 77u);
     EXPECT_FALSE(ring.hasMessage());
-    // Overflow: the protocol is request/response, depth > capacity
-    // is a bug.
+    // A full ring back-pressures the producer instead of losing the
+    // message: the post still lands, the producer pays ringFullWait
+    // and the full counter increments.
     ring.post(msg);
     ring.post(msg);
-    EXPECT_THROW(ring.post(msg), PanicError);
+    Ticks before = machine.now();
+    EXPECT_TRUE(ring.post(msg));
+    EXPECT_EQ(ring.fullCount(), 1u);
+    EXPECT_GE(machine.now() - before, machine.costs().ringFullWait);
+    EXPECT_EQ(ring.depth(), 3u);
 }
 
 TEST(Channel, RingRejectsZeroCapacity)

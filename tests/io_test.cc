@@ -74,12 +74,22 @@ TEST_F(VirtqueueTest, FifoOrder)
     }
 }
 
-TEST_F(VirtqueueTest, OverflowPanics)
+TEST_F(VirtqueueTest, FullRingBackPressuresInsteadOfPanicking)
 {
     Virtqueue q(machine, "q", 2);
-    q.post(VirtioBuffer{});
-    q.post(VirtioBuffer{});
-    EXPECT_THROW(q.post(VirtioBuffer{}), PanicError);
+    q.post(VirtioBuffer{0, 1, 0, false});
+    q.post(VirtioBuffer{1, 1, 0, false});
+    // The third post stalls the driver (ringFullWait) but is never
+    // lost; the full counter records the stall.
+    Ticks before = machine.now();
+    q.post(VirtioBuffer{2, 1, 0, false});
+    EXPECT_EQ(q.fullCount(), 1u);
+    EXPECT_GE(machine.now() - before, machine.costs().ringFullWait);
+    VirtioBuffer buf;
+    for (std::uint64_t i = 0; i < 3; ++i) {
+        ASSERT_TRUE(q.take(buf));
+        EXPECT_EQ(buf.id, i);
+    }
 }
 
 TEST_F(VirtqueueTest, ZeroSizeRejected)
