@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Compare a fresh sim_speed run against the committed baseline.
+
+Raw events/sec numbers are machine-dependent, so CI compares the
+machine-independent wheel/reference speedup ratio per workload: both
+implementations run in the same process on the same host, so their
+ratio cancels out CPU speed. The job fails when any workload's ratio
+regresses by more than the tolerance (default 15%), i.e. the wheel got
+slower relative to the reference heap than the committed record says
+it should be.
+
+Usage: check_speed_regression.py BASELINE.json CURRENT.json [tolerance]
+"""
+
+import json
+import sys
+
+
+def load_ratios(path):
+    with open(path) as f:
+        doc = json.load(f)
+    return {w["name"]: w["speedup_events_per_sec"]
+            for w in doc["workloads"]}
+
+
+def main(argv):
+    if len(argv) not in (3, 4):
+        print(__doc__, file=sys.stderr)
+        return 2
+    tolerance = float(argv[3]) if len(argv) == 4 else 0.15
+    baseline = load_ratios(argv[1])
+    current = load_ratios(argv[2])
+
+    failed = False
+    for name, base in sorted(baseline.items()):
+        if name not in current:
+            print(f"FAIL {name}: missing from current run")
+            failed = True
+            continue
+        cur = current[name]
+        floor = base * (1.0 - tolerance)
+        status = "ok"
+        if cur < floor:
+            status = "FAIL"
+            failed = True
+        print(f"{status:4s} {name}: speedup {cur:.2f}x vs baseline "
+              f"{base:.2f}x (floor {floor:.2f}x)")
+    for name in sorted(set(current) - set(baseline)):
+        print(f"note {name}: not in baseline ({current[name]:.2f}x)")
+
+    if failed:
+        print("sim_speed regression: wheel speedup dropped >"
+              f"{tolerance:.0%} below the committed baseline",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

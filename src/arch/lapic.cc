@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "sim/compiler.h"
 #include "sim/fault.h"
 #include "sim/log.h"
 #include "sim/trace.h"
@@ -37,7 +38,7 @@ Lapic::raise(std::uint8_t vector)
     pending_.set(vector);
     ++raised_;
     raisedMetric_.inc();
-    if (TraceSink *sink = eq_.traceSink())
+    if (TraceSink *sink = eq_.traceSink(); SVTSIM_UNLIKELY(sink != nullptr))
         sink->instant(TraceCategory::Irq, "irq.raise", vector);
 }
 
@@ -85,7 +86,8 @@ Lapic::ack()
     int v = highestPending();
     if (v >= 0) {
         pending_.reset(static_cast<std::size_t>(v));
-        if (TraceSink *sink = eq_.traceSink())
+        if (TraceSink *sink = eq_.traceSink();
+            SVTSIM_UNLIKELY(sink != nullptr))
             sink->instant(TraceCategory::Irq, "irq.ack", v);
     }
     return v;
@@ -108,7 +110,8 @@ Lapic::sendIpi(Lapic &dst, std::uint8_t vector)
 {
     ipiMetric_.inc();
     Ticks latency = costs_.ipiLatency;
-    if (FaultInjector *faults = eq_.faultInjector()) {
+    if (FaultInjector *faults = eq_.faultInjector();
+        SVTSIM_UNLIKELY(faults != nullptr)) {
         if (faults->fires(FaultSite::IpiDrop)) {
             // Lost on the interconnect: never becomes pending.
             if (TraceSink *sink = eq_.traceSink())

@@ -2,6 +2,7 @@
 
 #include <limits>
 
+#include "sim/compiler.h"
 #include "sim/log.h"
 #include "sim/trace.h"
 
@@ -55,13 +56,13 @@ Machine::core(int i)
 void
 Machine::consume(Ticks t)
 {
-    if (t < 0)
+    if (SVTSIM_UNLIKELY(t < 0))
         panic("Machine::consume negative time");
     if (t == 0)
         return;
     for (const auto &scope : scopeStack_)
         buckets_[scope] += t;
-    if (TraceSink *sink = eq_.traceSink())
+    if (TraceSink *sink = eq_.traceSink(); SVTSIM_UNLIKELY(sink != nullptr))
         sink->attribute(t);
     eq_.advanceBy(t);
 }
@@ -69,7 +70,7 @@ Machine::consume(Ticks t)
 void
 Machine::idleUntil(Ticks when)
 {
-    if (TraceSink *sink = eq_.traceSink())
+    if (TraceSink *sink = eq_.traceSink(); SVTSIM_UNLIKELY(sink != nullptr))
         sink->attributeIdle(when > now() ? when - now() : 0);
     eq_.advanceTo(when);
 }

@@ -1,5 +1,6 @@
 #include "hv/channel.h"
 
+#include "sim/compiler.h"
 #include "sim/fault.h"
 #include "sim/log.h"
 #include "sim/trace.h"
@@ -112,7 +113,7 @@ CommandRing::noteDepth()
     auto depth = static_cast<std::int64_t>(ring_.size());
     depthMetric_.set(depth);
     TraceSink *sink = machine_.traceSink();
-    if (sink && sink->enabled())
+    if (SVTSIM_UNLIKELY(sink && sink->enabled()))
         sink->counter(name_ + ".depth", depth);
 }
 
@@ -142,7 +143,8 @@ CommandRing::post(const ChannelMessage &msg)
     machine_.consume(costs.ringPost +
                      costs.ringPayloadValue * ringPayloadValues);
     FaultInjector *faults = machine_.events().faultInjector();
-    if (faults && faults->fires(FaultSite::RingPostDrop)) {
+    if (SVTSIM_UNLIKELY(faults != nullptr) &&
+        faults->fires(FaultSite::RingPostDrop)) {
         // The doorbell store is lost: the producer paid the costs but
         // the waiter never observes the command.
         SVTSIM_TRACE_INSTANT(machine_.traceSink(),
@@ -185,7 +187,8 @@ CommandRing::consumeWake(const ChannelModel &channel)
 {
     const CostModel &costs = machine_.costs();
     FaultInjector *faults = machine_.events().faultInjector();
-    if (faults && faults->fires(FaultSite::RingSpuriousWake)) {
+    if (SVTSIM_UNLIKELY(faults != nullptr) &&
+        faults->fires(FaultSite::RingSpuriousWake)) {
         // Spurious mwait wakeup: the waiter resumes, finds no
         // command, and pays a full re-arm + wake round.
         SVTSIM_TRACE_INSTANT(machine_.traceSink(),

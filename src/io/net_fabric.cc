@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "sim/compiler.h"
 #include "sim/fault.h"
 #include "sim/log.h"
 
@@ -53,7 +54,8 @@ NetFabric::transmit(const NetPacket &pkt, Ticks &free_at,
     Ticks done = start + serialization(pkt.bytes);
     free_at = done;
     Ticks arrival = done + latency_;
-    if (FaultInjector *faults = machine_.events().faultInjector())
+    if (FaultInjector *faults = machine_.events().faultInjector();
+        SVTSIM_UNLIKELY(faults != nullptr))
         arrival += faults->delay(FaultSite::VirtioCompletionDelay);
     auto &h = handler;
     NetPacket copy = pkt;

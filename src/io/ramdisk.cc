@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "sim/compiler.h"
 #include "sim/fault.h"
 #include "sim/log.h"
 
@@ -39,7 +40,8 @@ RamDisk::submit(std::uint64_t id, std::uint64_t lba,
     (void)lba;
     Ticks start = std::max(machine_.now(), freeAt_);
     Ticks done = start + serviceTime(bytes, write);
-    if (FaultInjector *faults = machine_.events().faultInjector())
+    if (FaultInjector *faults = machine_.events().faultInjector();
+        SVTSIM_UNLIKELY(faults != nullptr))
         done += faults->delay(FaultSite::VirtioCompletionDelay);
     freeAt_ = done;
     machine_.events().schedule(done, [this, id] {

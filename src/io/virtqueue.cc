@@ -1,5 +1,6 @@
 #include "io/virtqueue.h"
 
+#include "sim/compiler.h"
 #include "sim/fault.h"
 #include "sim/log.h"
 #include "sim/trace.h"
@@ -29,7 +30,7 @@ Virtqueue::noteAvailDepth()
     auto depth = static_cast<std::int64_t>(avail_.size());
     availDepthMetric_.set(depth);
     TraceSink *sink = machine_.traceSink();
-    if (sink && sink->enabled())
+    if (SVTSIM_UNLIKELY(sink && sink->enabled()))
         sink->counter(name_ + ".avail_depth", depth);
 }
 
@@ -37,8 +38,8 @@ bool
 Virtqueue::post(const VirtioBuffer &buf)
 {
     FaultInjector *faults = machine_.events().faultInjector();
-    bool pressured =
-        faults && faults->fires(FaultSite::VirtioBackpressure);
+    bool pressured = SVTSIM_UNLIKELY(faults != nullptr) &&
+                     faults->fires(FaultSite::VirtioBackpressure);
     if (avail_.size() >= size_ || pressured) {
         // Back-pressure, not a protocol violation: the driver spins
         // until the device frees a slot. The buffer is never lost.

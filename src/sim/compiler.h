@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Compiler portability helpers for the simulator hot paths.
+ *
+ * The discrete-event core runs tens of millions of events per wall
+ * second; the observability hooks (trace sink, fault injector) must
+ * cost a single statically-predicted branch when disabled. These
+ * macros keep that contract explicit at the hook sites.
+ */
+
+#ifndef SVTSIM_SIM_COMPILER_H
+#define SVTSIM_SIM_COMPILER_H
+
+#if defined(__GNUC__) || defined(__clang__)
+
+/** Branch is expected to be taken / not taken (static prediction). */
+#define SVTSIM_LIKELY(x) __builtin_expect(!!(x), 1)
+#define SVTSIM_UNLIKELY(x) __builtin_expect(!!(x), 0)
+
+/** Force inlining of tiny hot-path accessors even at -O0/-Og. */
+#define SVTSIM_ALWAYS_INLINE inline __attribute__((always_inline))
+
+#else
+
+#define SVTSIM_LIKELY(x) (x)
+#define SVTSIM_UNLIKELY(x) (x)
+#define SVTSIM_ALWAYS_INLINE inline
+
+#endif
+
+namespace svtsim {
+
+/** Index of the highest set bit of @p v. @pre v != 0. */
+SVTSIM_ALWAYS_INLINE int
+topBitIndex(unsigned long long v)
+{
+#if defined(__GNUC__) || defined(__clang__)
+    return 63 - __builtin_clzll(v);
+#else
+    int i = 0;
+    while (v >>= 1)
+        ++i;
+    return i;
+#endif
+}
+
+/** Index of the lowest set bit of @p v. @pre v != 0. */
+SVTSIM_ALWAYS_INLINE int
+bottomBitIndex(unsigned long long v)
+{
+#if defined(__GNUC__) || defined(__clang__)
+    return __builtin_ctzll(v);
+#else
+    int i = 0;
+    while (!(v & 1)) {
+        v >>= 1;
+        ++i;
+    }
+    return i;
+#endif
+}
+
+} // namespace svtsim
+
+#endif // SVTSIM_SIM_COMPILER_H

@@ -1,107 +1,406 @@
 #include "sim/event_queue.h"
 
-#include "sim/log.h"
+#include <algorithm>
 
 namespace svtsim {
 
+/*
+ * Hierarchical timing wheel.
+ *
+ * Level k buckets pending events by byte k of their absolute
+ * timestamp: an event goes to the level of the highest byte in which
+ * its timestamp differs from now_ (its "distance magnitude"), into
+ * slot (when >> 8k) & 255. Three invariants carry the design:
+ *
+ *  1. Level-0 slots are exact-tick buckets: every event in a level-0
+ *     slot has timestamp == window_base + slot, so firing a slot in
+ *     list order is firing one tick's events.
+ *
+ *  2. For every level k >= 1, the slot whose window contains now_ is
+ *     empty — its contents were cascaded down when now_ entered it
+ *     (moveTimeTo). Hence all occupied level-k slots lie strictly in
+ *     the future, and every event at level k is later than every
+ *     event at any level < k (they differ from now_ in a higher
+ *     byte). The next event therefore lives in the first occupied
+ *     slot of the lowest occupied level.
+ *
+ *  3. Slot lists append on every insertion — direct schedule or
+ *     cascade — and cascades walk lists in order, so within a tick
+ *     list order is seq order (same-tick FIFO; see DESIGN.md for why
+ *     a direct insert can never be overtaken by a later cascade).
+ *
+ * Events whose timestamp differs from now_ above the wheel's top
+ * level (2^56 ticks, ~20 simulated hours — saturated maxTick timers)
+ * wait in far_, an ordered map, and are pulled into the wheel when
+ * now_ enters their epoch. All far events are later than all wheel
+ * events (they differ from now_ in a byte above the wheel).
+ */
+
+EventQueue::~EventQueue() = default;
+
 EventId
-EventQueue::schedule(Ticks when, std::function<void()> fn,
-                     std::string label)
+EventQueue::schedule(Ticks when, EventClosure fn, std::string_view label)
 {
-    if (when < now_) {
-        panic("EventQueue::schedule in the past (when=%lld now=%lld %s)",
+    if (SVTSIM_UNLIKELY(when < now_)) {
+        panic("EventQueue::schedule in the past (when=%lld now=%lld %.*s)",
               static_cast<long long>(when), static_cast<long long>(now_),
-              label.c_str());
+              static_cast<int>(label.size()),
+              label.empty() ? "" : label.data());
     }
-    EventId id = nextId_++;
-    heap_.push(HeapEntry{when, nextSeq_++, id});
-    records_.emplace(id, Record{std::move(fn), std::move(label)});
-    return id;
+    const std::uint32_t idx = allocRecord();
+    Record &rec = recordAt(idx);
+    rec.fn = std::move(fn);
+    rec.when = when;
+    rec.seq = nextSeq_++;
+    rec.labelId = label.empty() ? 0 : internLabel(label);
+    placeRecord(idx, rec);
+    ++liveCount_;
+    return makeId(idx, rec.gen);
 }
 
 EventId
-EventQueue::scheduleIn(Ticks delta, std::function<void()> fn,
-                       std::string label)
+EventQueue::scheduleIn(Ticks delta, EventClosure fn,
+                       std::string_view label)
 {
-    return schedule(now_ + delta, std::move(fn), std::move(label));
+    // Saturate instead of overflowing: now_ + delta past maxTick is
+    // signed overflow (UB) and then a nonsense schedule-in-the-past
+    // panic. A saturated timeout pends forever, which is what an
+    // "infinite" deadline means. Negative deltas still reach the
+    // schedule-in-the-past panic below.
+    const Ticks when =
+        delta >= maxTick - now_ ? maxTick : now_ + delta;
+    return schedule(when, std::move(fn), label);
 }
 
 bool
 EventQueue::deschedule(EventId id)
 {
     // Cancelling an already-fired, already-cancelled or unknown handle
-    // is a no-op, matching the forgiving semantics of timer APIs. The
-    // heap entry stays behind (lazy deletion), but the closure — and
-    // anything it captured — is released right here.
-    return records_.erase(id) != 0;
+    // is a no-op, matching the forgiving semantics of timer APIs. A
+    // live handle is unlinked from its slot eagerly — no lazy-deletion
+    // debris — and the closure (and anything it captured) is released
+    // right here.
+    if (lookup(id) == nullptr)
+        return false;
+    const std::uint32_t idx = static_cast<std::uint32_t>(id) - 1;
+    Record &rec = recordAt(idx);
+    unlink(rec, idx);
+    freeRecord(idx, rec);
+    --liveCount_;
+    return true;
+}
+
+const EventQueue::Record *
+EventQueue::lookup(EventId id) const
+{
+    const std::uint32_t low = static_cast<std::uint32_t>(id);
+    if (low == 0 || low - 1 >= allocated_)
+        return nullptr;
+    const Record &rec = recordAt(low - 1);
+    if (rec.level == levelFree ||
+        rec.gen != static_cast<std::uint32_t>(id >> 32))
+        return nullptr;
+    return &rec;
+}
+
+std::string_view
+EventQueue::eventLabel(EventId id) const
+{
+    const Record *rec = lookup(id);
+    return rec ? std::string_view(labels_[rec->labelId])
+               : std::string_view();
+}
+
+std::uint32_t
+EventQueue::allocRecord()
+{
+    if (SVTSIM_LIKELY(freeHead_ != nil)) {
+        const std::uint32_t idx = freeHead_;
+        freeHead_ = recordAt(idx).next;
+        return idx;
+    }
+    if ((allocated_ >> 8) == chunks_.size())
+        chunks_.emplace_back(new Record[chunkSize]);
+    return allocated_++;
+}
+
+void
+EventQueue::freeRecord(std::uint32_t idx, Record &rec)
+{
+    rec.fn.reset();
+    ++rec.gen;
+    rec.level = levelFree;
+    rec.next = freeHead_;
+    freeHead_ = idx;
+}
+
+void
+EventQueue::placeRecord(std::uint32_t idx, Record &rec)
+{
+    const std::uint64_t diff =
+        static_cast<std::uint64_t>(rec.when ^ now_);
+    if (SVTSIM_UNLIKELY(diff >> wheelBits)) {
+        rec.level = levelFar;
+        far_.emplace(std::make_pair(rec.when, rec.seq), idx);
+        return;
+    }
+    const int level = diff ? topBitIndex(diff) / slotBits : 0;
+    const int slot = static_cast<int>(
+        (rec.when >> (level * slotBits)) & slotMask);
+    linkTail(level, slot, idx, rec);
+}
+
+void
+EventQueue::linkTail(int level, int slot, std::uint32_t idx,
+                     Record &rec)
+{
+    rec.level = static_cast<std::uint8_t>(level);
+    rec.slot = static_cast<std::uint8_t>(slot);
+    rec.next = nil;
+    Slot &sl = slots_[level][slot];
+    if (sl.tail == nil) {
+        rec.prev = nil;
+        sl.head = sl.tail = idx;
+        markOccupied(level, slot);
+    } else {
+        rec.prev = sl.tail;
+        recordAt(sl.tail).next = idx;
+        sl.tail = idx;
+    }
+}
+
+void
+EventQueue::unlink(Record &rec, std::uint32_t idx)
+{
+    if (SVTSIM_UNLIKELY(rec.level == levelFar)) {
+        far_.erase(std::make_pair(rec.when, rec.seq));
+        return;
+    }
+    Slot &sl = slots_[rec.level][rec.slot];
+    if (rec.prev != nil)
+        recordAt(rec.prev).next = rec.next;
+    else
+        sl.head = rec.next;
+    if (rec.next != nil)
+        recordAt(rec.next).prev = rec.prev;
+    else
+        sl.tail = rec.prev;
+    if (sl.head == nil)
+        clearOccupied(rec.level, rec.slot);
+    (void)idx;
+}
+
+void
+EventQueue::markOccupied(int level, int slot)
+{
+    occupied_[level][slot >> 6] |= 1ull << (slot & 63);
+    levelSummary_ |= 1u << level;
+}
+
+void
+EventQueue::clearOccupied(int level, int slot)
+{
+    occupied_[level][slot >> 6] &= ~(1ull << (slot & 63));
+    const std::uint64_t *w = occupied_[level];
+    if ((w[0] | w[1] | w[2] | w[3]) == 0)
+        levelSummary_ &= ~(1u << level);
+}
+
+int
+EventQueue::firstOccupied(int level) const
+{
+    const std::uint64_t *w = occupied_[level];
+    for (int i = 0; i < numSlots / 64; ++i)
+        if (w[i])
+            return i * 64 + bottomBitIndex(w[i]);
+    return -1;
+}
+
+int
+EventQueue::lowestOccupiedLevel() const
+{
+    return levelSummary_ ? bottomBitIndex(levelSummary_) : -1;
+}
+
+Ticks
+EventQueue::slotBase(int level, int slot) const
+{
+    const int shift = (level + 1) * slotBits;
+    return ((now_ >> shift) << shift) |
+           (static_cast<Ticks>(slot) << (level * slotBits));
+}
+
+void
+EventQueue::moveTimeTo(Ticks t)
+{
+    if (t == now_)
+        return;
+    const Ticks old = now_;
+    now_ = t;
+    const std::uint64_t diff = static_cast<std::uint64_t>(old ^ t);
+    if (SVTSIM_LIKELY(!(diff >> slotBits)))
+        return; // still inside the same level-0 window everywhere
+    // Entered new windows at levels [1, top]: cascade each level's
+    // now-current slot down, highest level first so its events land
+    // in already-cascaded lower levels. Skipped slots between the old
+    // and new positions are empty by the caller's precondition (no
+    // live event earlier than t).
+    int top = topBitIndex(diff) / slotBits;
+    top = std::min(top, numLevels - 1);
+    for (int k = top; k >= 1; --k)
+        cascade(k,
+                static_cast<int>((t >> (k * slotBits)) & slotMask));
+    if (diff >> wheelBits)
+        pullFar();
+}
+
+void
+EventQueue::cascade(int level, int slot)
+{
+    Slot &sl = slots_[level][slot];
+    std::uint32_t idx = sl.head;
+    if (idx == nil)
+        return;
+    sl.head = sl.tail = nil;
+    clearOccupied(level, slot);
+    // Walk in list order so same-tick events keep their seq order in
+    // the destination slots.
+    while (idx != nil) {
+        Record &rec = recordAt(idx);
+        const std::uint32_t next = rec.next;
+        placeRecord(idx, rec);
+        idx = next;
+    }
+}
+
+void
+EventQueue::pullFar()
+{
+    while (!far_.empty()) {
+        const auto it = far_.begin();
+        const Ticks when = it->first.first;
+        if (static_cast<std::uint64_t>(when ^ now_) >> wheelBits)
+            break; // still beyond the wheel horizon
+        const std::uint32_t idx = it->second;
+        far_.erase(it);
+        placeRecord(idx, recordAt(idx));
+    }
 }
 
 Ticks
 EventQueue::nextEventTime() const
 {
-    popCancelled();
-    if (heap_.empty())
-        return maxTick;
-    return heap_.top().when;
+    const int level = lowestOccupiedLevel();
+    if (level < 0)
+        return far_.empty() ? maxTick : far_.begin()->first.first;
+    const int slot = firstOccupied(level);
+    if (level == 0)
+        return level0Time(slot);
+    // An upper-level slot spans a window; its earliest entry is the
+    // list minimum (slots hold insertion order, not time order).
+    Ticks best = maxTick;
+    for (std::uint32_t idx = slots_[level][slot].head; idx != nil;
+         idx = recordAt(idx).next)
+        best = std::min(best, recordAt(idx).when);
+    return best;
 }
 
 void
-EventQueue::popCancelled() const
+EventQueue::fireCurrentSlot(Ticks t)
 {
-    // Cancelled entries stay in the heap (lazy deletion) and are
-    // discarded when they surface.
-    while (!heap_.empty() && !records_.count(heap_.top().id))
-        heap_.pop();
-}
-
-EventQueue::Record
-EventQueue::takeTop()
-{
-    auto it = records_.find(heap_.top().id);
-    simAssert(it != records_.end(),
-              "EventQueue: live heap entry without a record");
-    Record rec = std::move(it->second);
-    records_.erase(it);
-    now_ = heap_.top().when;
-    heap_.pop();
-    ++executed_;
-    return rec;
+    const int slot = static_cast<int>(t & slotMask);
+    // A handler may schedule at the current tick (appended to this
+    // slot's tail: runs in this loop) or advance time recursively
+    // (now_ moves past t: the recursion fired the rest, stop).
+    while (now_ == t) {
+        const std::uint32_t idx = slots_[0][slot].head;
+        if (idx == nil)
+            break;
+        Record &rec = recordAt(idx);
+        unlink(rec, idx);
+        EventClosure fn = std::move(rec.fn);
+        freeRecord(idx, rec);
+        --liveCount_;
+        ++executed_;
+        fn();
+    }
 }
 
 void
 EventQueue::advanceTo(Ticks when)
 {
-    if (when < now_) {
+    if (SVTSIM_UNLIKELY(when < now_)) {
         panic("EventQueue::advanceTo into the past (when=%lld now=%lld)",
               static_cast<long long>(when),
               static_cast<long long>(now_));
     }
     for (;;) {
-        popCancelled();
-        if (heap_.empty() || heap_.top().when > when)
+        const int level = lowestOccupiedLevel();
+        if (level < 0) {
+            if (far_.empty())
+                break;
+            const Ticks farWhen = far_.begin()->first.first;
+            if (farWhen > when)
+                break;
+            moveTimeTo(farWhen); // pulls the far epoch into the wheel
+            continue;
+        }
+        const int slot = firstOccupied(level);
+        if (level > 0) {
+            const Ticks base = slotBase(level, slot);
+            if (base > when)
+                break;
+            moveTimeTo(base); // cascades the slot down; re-scan
+            continue;
+        }
+        const Ticks t = level0Time(slot);
+        if (t > when)
             break;
-        Record rec = takeTop();
-        rec.fn();
+        moveTimeTo(t);
+        fireCurrentSlot(t);
     }
-    now_ = when;
+    if (when > now_)
+        moveTimeTo(when);
 }
 
 void
 EventQueue::advanceBy(Ticks delta)
 {
     simAssert(delta >= 0, "EventQueue::advanceBy negative delta");
-    advanceTo(now_ + delta);
+    // Saturate instead of overflowing (see scheduleIn).
+    advanceTo(delta >= maxTick - now_ ? maxTick : now_ + delta);
 }
 
 bool
 EventQueue::runNext()
 {
-    popCancelled();
-    if (heap_.empty())
-        return false;
-    Record rec = takeTop();
-    rec.fn();
-    return true;
+    for (;;) {
+        const int level = lowestOccupiedLevel();
+        if (level < 0) {
+            if (far_.empty())
+                return false;
+            moveTimeTo(far_.begin()->first.first);
+            continue;
+        }
+        const int slot = firstOccupied(level);
+        if (level > 0) {
+            moveTimeTo(slotBase(level, slot));
+            continue;
+        }
+        const Ticks t = level0Time(slot);
+        moveTimeTo(t);
+        const std::uint32_t idx = slots_[0][slot].head;
+        simAssert(idx != nil,
+                  "EventQueue: occupied level-0 slot with no records");
+        Record &rec = recordAt(idx);
+        unlink(rec, idx);
+        EventClosure fn = std::move(rec.fn);
+        freeRecord(idx, rec);
+        --liveCount_;
+        ++executed_;
+        fn();
+        return true;
+    }
 }
 
 bool
@@ -114,6 +413,34 @@ EventQueue::runUntil(const std::function<bool()> &pred)
             return true;
     }
     return false;
+}
+
+std::uint16_t
+EventQueue::internLabel(std::string_view label)
+{
+    // Hot call sites pass the same string literal every time: a tiny
+    // direct-mapped cache keyed on the literal's address turns repeat
+    // interning into a pointer compare. The content check against the
+    // interned copy keeps a recycled allocation at the same address
+    // from aliasing a stale entry.
+    LabelCacheEntry &e = labelCache_
+        [(reinterpret_cast<std::uintptr_t>(label.data()) >> 4) & 15];
+    if (e.data == label.data() && e.size == label.size() &&
+        labels_[e.id] == label)
+        return e.id;
+    auto it = labelIds_.find(std::string(label));
+    if (it == labelIds_.end()) {
+        if (labels_.size() > 0xffff)
+            panic("EventQueue: too many distinct event labels");
+        const std::uint16_t id =
+            static_cast<std::uint16_t>(labels_.size());
+        labels_.emplace_back(label);
+        it = labelIds_.emplace(labels_.back(), id).first;
+    }
+    e.data = label.data();
+    e.size = label.size();
+    e.id = it->second;
+    return it->second;
 }
 
 } // namespace svtsim

@@ -44,6 +44,7 @@
 #include <string>
 #include <vector>
 
+#include "sim/compiler.h"
 #include "sim/event_queue.h"
 #include "sim/ticks.h"
 
@@ -208,15 +209,16 @@ class TraceSpan
 {
   public:
     TraceSpan(TraceSink *sink, TraceCategory category, const char *name)
-        : sink_(sink && sink->enabled() ? sink : nullptr)
+        : sink_(SVTSIM_UNLIKELY(sink && sink->enabled()) ? sink
+                                                         : nullptr)
     {
-        if (sink_)
+        if (SVTSIM_UNLIKELY(sink_ != nullptr))
             handle_ = sink_->beginSpan(category, name);
     }
 
     ~TraceSpan()
     {
-        if (sink_)
+        if (SVTSIM_UNLIKELY(sink_ != nullptr))
             sink_->endSpan(handle_);
     }
 
@@ -240,7 +242,7 @@ class TraceSpan
 #define SVTSIM_TRACE_INSTANT(sink_expr, category, name)                \
     do {                                                               \
         ::svtsim::TraceSink *sink_ = (sink_expr);                      \
-        if (sink_ && sink_->enabled())                                 \
+        if (SVTSIM_UNLIKELY(sink_ && sink_->enabled()))                \
             sink_->instant((category), (name));                        \
     } while (0)
 #define SVTSIM_TRACE_SPAN(var, sink_expr, category, name)              \
