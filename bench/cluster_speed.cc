@@ -1,0 +1,304 @@
+/**
+ * @file
+ * Cluster-engine speed bench: wall-clock scaling of the conservative
+ * parallel cluster engine on an N-machine memcached pool (N nested
+ * servers, one bare-metal mutilate client fanned out over N
+ * CrossLinks).
+ *
+ * The same scenario runs twice — `--cluster-jobs`-style parallel and
+ * with the sequential oracle (1 worker) — and the bench enforces that
+ * both produce the identical simulation fingerprint (per-flow
+ * latencies and counts, per-machine final clocks, epoch statistics)
+ * before reporting the wall-clock ratio. Wall time is host-dependent,
+ * so the JSON records the host core count and CI applies a core-aware
+ * floor (no speedup is physically possible on a 1-core runner).
+ */
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "io/cross_link.h"
+#include "io/virtio_net.h"
+#include "sim/random.h"
+#include "sim/worker_pool.h"
+#include "stats/summary.h"
+#include "system/bench_harness.h"
+#include "system/cluster.h"
+#include "workloads/remote_peer.h"
+
+using namespace svtsim;
+
+namespace {
+
+struct RunConfig
+{
+    int machines = 8;      ///< Server machines (plus 1 client).
+    int jobs = 0;          ///< Parallel workers (0 = hw threads).
+    double qps = 8000;     ///< Offered load per server.
+    Ticks duration = msec(200);
+    Ticks latency = usec(25); ///< ToR-switch scale wire latency.
+    std::uint64_t seed = 1;
+};
+
+struct RunOutcome
+{
+    std::string fingerprint;
+    double wallSec = 0;
+};
+
+/** One client-side request flow against one server machine. */
+struct Flow
+{
+    Rng rng;
+    EtcWorkload etc;
+    std::uint64_t nextId = 1;
+    std::uint64_t completed = 0;
+    std::unordered_map<std::uint64_t, Ticks> sent;
+    Percentiles lat;
+
+    explicit Flow(std::uint64_t seed) : rng(seed) {}
+};
+
+/**
+ * Build the pool, run it with @p jobs workers, and reduce the whole
+ * simulation to a deterministic fingerprint string. Every call
+ * constructs a fresh Cluster from the same seed, so any two calls
+ * must produce byte-identical fingerprints regardless of @p jobs.
+ */
+RunOutcome
+runOnce(const RunConfig &cfg, int jobs)
+{
+    Cluster cluster(cfg.seed);
+    const int client = cluster.addMachine("client", VirtMode::Native);
+    std::vector<int> servers;
+    for (int i = 0; i < cfg.machines; ++i)
+        servers.push_back(cluster.addMachine(
+            "server" + std::to_string(i), VirtMode::Nested));
+
+    Machine &cm = cluster.machine(client);
+    std::vector<CrossLink *> links;
+    for (int s : servers)
+        links.push_back(&cluster.connect(client, s, cfg.latency,
+                                         cm.costs().linkBitsPerSec));
+
+    // Server side: one nested virtio-net stack + serving loop each.
+    std::vector<std::unique_ptr<VirtioNetStack>> nets;
+    std::vector<std::unique_ptr<MemcachedServer>> mcs;
+    std::vector<std::uint64_t> served(servers.size(), 0);
+    for (std::size_t i = 0; i < servers.size(); ++i) {
+        nets.push_back(std::make_unique<VirtioNetStack>(
+            cluster.system(servers[i]).stack(), links[i]->port(1)));
+        mcs.push_back(std::make_unique<MemcachedServer>(
+            cluster.system(servers[i]).stack(), *nets.back(),
+            42 + static_cast<std::uint64_t>(i)));
+        auto *mc = mcs.back().get();
+        auto *out = &served[i];
+        cluster.setDriver(servers[i], [mc, out, &cfg](NestedSystem &) {
+            *out = mc->serveUntil(cfg.duration);
+        });
+    }
+
+    // Client side: N independent open-loop ETC flows, one per link,
+    // all event-driven on the single bare-metal client machine.
+    std::vector<Flow> flows;
+    for (std::size_t i = 0; i < servers.size(); ++i)
+        flows.emplace_back(cfg.seed + 1000 + i);
+
+    cluster.setDriver(client, [&](NestedSystem &sys) {
+        Machine &m = sys.machine();
+        const Ticks t0 = m.now();
+        const Ticks end = t0 + cfg.duration;
+
+        std::vector<std::function<void()>> arms(flows.size());
+        for (std::size_t i = 0; i < flows.size(); ++i) {
+            Flow &flow = flows[i];
+            NetPort &port = links[i]->port(0);
+            port.setReceiveHandler([&flow, &m](NetPacket pkt) {
+                auto it = flow.sent.find(pkt.id);
+                if (it != flow.sent.end()) {
+                    flow.lat.add(toUsec(m.now() - it->second));
+                    flow.sent.erase(it);
+                    ++flow.completed;
+                }
+            });
+            arms[i] = [&flow, &port, &m, &arms, i, end, &cfg] {
+                Ticks gap = static_cast<Ticks>(
+                    flow.rng.exponential(1e12 / cfg.qps));
+                Ticks when = m.now() + std::max<Ticks>(gap, 1);
+                if (when >= end)
+                    return;
+                m.events().schedule(when, [&flow, &port, &m, &arms, i] {
+                    std::uint64_t id = flow.nextId++;
+                    bool get = flow.etc.isGet(flow.rng);
+                    std::uint32_t vsize =
+                        flow.etc.sampleValueSize(flow.rng);
+                    std::uint32_t req_bytes =
+                        flow.etc.sampleKeySize(flow.rng) +
+                        (get ? 24 : 24 + vsize);
+                    flow.sent[id] = m.now();
+                    port.send(NetPacket{
+                        id, req_bytes,
+                        (static_cast<std::uint64_t>(vsize) << 1) |
+                            (get ? 1 : 0)});
+                    arms[i]();
+                }, "mutilate-arrival");
+            };
+            arms[i]();
+        }
+
+        const Ticks grace = end + msec(5);
+        while (m.now() < grace)
+            m.idleUntil(grace);
+        for (auto *link : links)
+            link->port(0).setReceiveHandler([](NetPacket) {});
+    });
+
+    const auto t0 = std::chrono::steady_clock::now();
+    ClusterStats stats = cluster.run(jobs);
+    RunOutcome out;
+    out.wallSec = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - t0)
+                      .count();
+
+    std::ostringstream fp;
+    fp << "epochs=" << stats.epochs << " steps=" << stats.steps
+       << " merged=" << stats.merged;
+    for (int i = 0; i < cluster.size(); ++i)
+        fp << " t" << i << "=" << cluster.machine(i).now();
+    for (std::size_t i = 0; i < flows.size(); ++i) {
+        char buf[96];
+        std::snprintf(buf, sizeof buf,
+                      " f%zu=%llu/%llu/%.17g/%.17g", i,
+                      static_cast<unsigned long long>(
+                          flows[i].completed),
+                      static_cast<unsigned long long>(served[i]),
+                      flows[i].lat.mean(), flows[i].lat.p99());
+        fp << buf;
+    }
+    out.fingerprint = fp.str();
+    return out;
+}
+
+int
+runClusterSpeed(int argc, char **argv, const BenchOptions &options)
+{
+    RunConfig cfg;
+    cfg.seed = options.seed;
+    std::string outPath = "-";
+    bool quick = false;
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        auto num = [&](const char *prefix) {
+            return std::strtod(arg + std::strlen(prefix), nullptr);
+        };
+        if (std::strncmp(arg, "--machines=", 11) == 0) {
+            cfg.machines = static_cast<int>(num("--machines="));
+        } else if (std::strncmp(arg, "--workers=", 10) == 0) {
+            cfg.jobs = static_cast<int>(num("--workers="));
+        } else if (std::strncmp(arg, "--qps=", 6) == 0) {
+            cfg.qps = num("--qps=");
+        } else if (std::strncmp(arg, "--duration-ms=", 14) == 0) {
+            cfg.duration = msec(num("--duration-ms="));
+        } else if (std::strncmp(arg, "--latency-us=", 13) == 0) {
+            cfg.latency = usec(num("--latency-us="));
+        } else if (std::strncmp(arg, "--out=", 6) == 0) {
+            outPath = arg + 6;
+        } else if (std::strcmp(arg, "--quick") == 0) {
+            quick = true;
+        } else {
+            std::cerr
+                << "cluster_speed: unknown argument '" << arg
+                << "'\n"
+                << "usage: cluster_speed [--machines=N] [--workers=N]"
+                   " [--qps=Q] [--duration-ms=D] [--latency-us=L]"
+                   " [--out=FILE] [--quick]\n";
+            return 2;
+        }
+    }
+    if (quick) {
+        cfg.machines = std::min(cfg.machines, 4);
+        cfg.duration = msec(40);
+    }
+    if (cfg.machines < 1 || cfg.latency <= 0 || cfg.qps <= 0) {
+        std::cerr << "cluster_speed: bad configuration\n";
+        return 2;
+    }
+    if (cfg.jobs <= 0)
+        cfg.jobs = WorkerPool::defaultWorkers();
+
+    const unsigned cores = std::thread::hardware_concurrency();
+
+    std::printf("cluster_speed: %d servers + 1 client, %.0f qps each, "
+                "%.0f ms, wire %.1f us (%u cores)\n",
+                cfg.machines, cfg.qps, toUsec(cfg.duration) / 1000.0,
+                toUsec(cfg.latency), cores);
+
+    RunOutcome seq = runOnce(cfg, 1);
+    RunOutcome par = runOnce(cfg, cfg.jobs);
+
+    const bool identical = seq.fingerprint == par.fingerprint;
+    if (!identical) {
+        std::cerr << "cluster_speed: FINGERPRINT DIVERGENCE between "
+                     "1 and "
+                  << cfg.jobs << " workers\n  seq: " << seq.fingerprint
+                  << "\n  par: " << par.fingerprint << "\n";
+    }
+    const double speedup =
+        par.wallSec > 0 ? seq.wallSec / par.wallSec : 0;
+
+    std::ostream *os = &std::cout;
+    std::ofstream file;
+    if (outPath != "-") {
+        file.open(outPath);
+        if (!file) {
+            std::cerr << "cluster_speed: cannot open '" << outPath
+                      << "'\n";
+            return 1;
+        }
+        os = &file;
+    }
+    *os << "{\n"
+        << "  \"bench\": \"cluster_speed\",\n"
+        << "  \"quick\": " << (quick ? "true" : "false") << ",\n"
+        << "  \"seed\": " << cfg.seed << ",\n"
+        << "  \"machines\": " << cfg.machines << ",\n"
+        << "  \"workers\": " << cfg.jobs << ",\n"
+        << "  \"cores\": " << cores << ",\n"
+        << "  \"qps\": " << cfg.qps << ",\n"
+        << "  \"duration_ms\": " << toUsec(cfg.duration) / 1000.0
+        << ",\n"
+        << "  \"latency_us\": " << toUsec(cfg.latency) << ",\n"
+        << "  \"seq_wall_s\": " << seq.wallSec << ",\n"
+        << "  \"par_wall_s\": " << par.wallSec << ",\n"
+        << "  \"speedup\": " << speedup << ",\n"
+        << "  \"identical\": " << (identical ? "true" : "false")
+        << "\n}\n";
+
+    std::printf("sequential %.3f s   %d workers %.3f s   speedup "
+                "%.2fx   fingerprints %s\n",
+                seq.wallSec, cfg.jobs, par.wallSec, speedup,
+                identical ? "identical" : "DIVERGED");
+    return identical ? 0 : 1;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    BenchHarness bench("cluster_speed",
+                       "wall-clock scaling of the parallel cluster "
+                       "engine on an N-machine memcached pool, with "
+                       "byte-identity enforced between worker counts");
+    bench.onCustomMain(runClusterSpeed);
+    return bench.main(argc, argv);
+}

@@ -13,10 +13,12 @@
 #include <string>
 #include <vector>
 
+#include "io/cross_link.h"
 #include "io/virtio_net.h"
 #include "stats/table.h"
 #include "system/bench_harness.h"
-#include "workloads/memcached.h"
+#include "system/cluster.h"
+#include "workloads/remote_peer.h"
 
 using namespace svtsim;
 
@@ -58,22 +60,45 @@ main(int argc, char **argv)
     BenchHarness bench("fig8_memcached",
                        "Figure 8: memcached latency vs request load "
                        "(ETC workload)");
+    // The mutilate client is a real second machine (the paper's
+    // bare-metal load-generator box) across a CrossLink.
     for (VirtMode mode : {VirtMode::Nested, VirtMode::SwSvt}) {
         for (double qps : loads) {
-            bench.add(pointName(mode, qps), mode,
-                      [qps](NestedSystem &sys, ScenarioResult &r) {
-                          NetFabric fabric(
-                              sys.machine(),
-                              sys.machine().costs().wireLatency,
-                              sys.machine().costs().linkBitsPerSec);
-                          VirtioNetStack net(sys.stack(), fabric);
-                          MemcachedBench mc(sys.stack(), net, fabric);
-                          MemcachedPoint pt =
-                              mc.runLoad(qps, msec(300));
-                          r.record("avg_usec", pt.avgUsec);
-                          r.record("p99_usec", pt.p99Usec);
-                          r.record("achieved_qps", pt.achievedQps);
-                      });
+            bench.addCluster(
+                pointName(mode, qps), mode,
+                [mode, qps](ClusterContext &ctx, ScenarioResult &r) {
+                    Cluster cluster(ctx.seed());
+                    int s = cluster.addMachine("server", mode);
+                    int c =
+                        cluster.addMachine("client", VirtMode::Native);
+                    Machine &sm = cluster.machine(s);
+                    CrossLink &link = cluster.connect(
+                        s, c, sm.costs().wireLatency,
+                        sm.costs().linkBitsPerSec);
+
+                    VirtioNetStack net(cluster.system(s).stack(),
+                                       link.port(0));
+                    MemcachedServer server(cluster.system(s).stack(),
+                                           net);
+                    MutilateClient client(cluster.machine(c),
+                                          link.port(1));
+
+                    const Ticks duration = msec(300);
+                    MemcachedPoint pt;
+                    cluster.setDriver(s, [&](NestedSystem &) {
+                        server.serveUntil(duration);
+                    });
+                    cluster.setDriver(c, [&](NestedSystem &) {
+                        pt = client.runLoad(qps, duration);
+                    });
+
+                    ctx.prepare(cluster);
+                    cluster.run(ctx.jobs());
+                    r.record("avg_usec", pt.avgUsec);
+                    r.record("p99_usec", pt.p99Usec);
+                    r.record("achieved_qps", pt.achievedQps);
+                    ctx.finish(cluster, r);
+                });
         }
     }
 

@@ -11,6 +11,7 @@
 
 #include "io/ramdisk.h"
 #include "io/virtio_blk.h"
+#include "io/net_fabric.h"
 #include "io/virtio_net.h"
 #include "system/nested_system.h"
 #include "workloads/guest_os.h"

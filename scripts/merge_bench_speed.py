@@ -1,0 +1,45 @@
+#!/usr/bin/env python3
+"""Merge a cluster_speed run into a BENCH_SPEED.json document.
+
+The committed BENCH_SPEED.json holds the sim_speed workload records;
+cluster_speed writes its own JSON. This script grafts the cluster run
+under a top-level "cluster" key so one artifact carries both, without
+ever regenerating (and thus churning) the sim_speed section.
+
+Usage: merge_bench_speed.py BENCH_SPEED.json CLUSTER.json [OUT.json]
+
+OUT.json defaults to rewriting BENCH_SPEED.json in place.
+"""
+
+import json
+import sys
+
+
+def main(argv):
+    if len(argv) not in (3, 4):
+        print(__doc__, file=sys.stderr)
+        return 2
+    base_path, cluster_path = argv[1], argv[2]
+    out_path = argv[3] if len(argv) == 4 else base_path
+
+    with open(base_path) as f:
+        doc = json.load(f)
+    with open(cluster_path) as f:
+        cluster = json.load(f)
+
+    if cluster.get("bench") != "cluster_speed":
+        print(f"{cluster_path}: not a cluster_speed result",
+              file=sys.stderr)
+        return 1
+    cluster.pop("bench", None)
+    doc["cluster"] = cluster
+
+    with open(out_path, "w") as f:
+        json.dump(doc, f, indent=2)
+        f.write("\n")
+    print(f"merged {cluster_path} into {out_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -70,9 +70,13 @@ Machine::consume(Ticks t)
 void
 Machine::idleUntil(Ticks when)
 {
+    // idleTo() may return early under a cluster AdvanceGate (with
+    // now() < when), so idle time is attributed from the actual
+    // distance advanced, keeping the trace conservation check exact.
+    const Ticks before = now();
+    eq_.idleTo(when);
     if (TraceSink *sink = eq_.traceSink(); SVTSIM_UNLIKELY(sink != nullptr))
-        sink->attributeIdle(when > now() ? when - now() : 0);
-    eq_.advanceTo(when);
+        sink->attributeIdle(now() - before);
 }
 
 void

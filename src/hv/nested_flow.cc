@@ -654,12 +654,11 @@ VirtStack::serviceSvtThreadPreemption()
         machine_.now() + (wd.enabled ? wd.timeout : c.ipiLatency * 16);
     while (!vcpuL1_->lapic().hasPending() &&
            machine_.now() < deadline) {
+        // idleUntil may return early under a cluster AdvanceGate, so
+        // never break on its return — re-check the loop condition
+        // (pending IPI / deadline) every time around.
         Ticks next = machine_.events().nextEventTime();
-        if (next > deadline) {
-            machine_.idleUntil(deadline);
-            break;
-        }
-        machine_.idleUntil(next);
+        machine_.idleUntil(std::min(next, deadline));
     }
     if (!vcpuL1_->lapic().hasPending()) {
         // The IPI never arrived: the spinner waits for an ack that

@@ -1,0 +1,96 @@
+#include "io/cross_link.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/compiler.h"
+#include "sim/fault.h"
+#include "sim/log.h"
+
+namespace svtsim {
+
+CrossLink::CrossLink(Machine &a, int idA, Machine &b, int idB,
+                     Ticks latency, double bits_per_sec)
+    : latency_(latency), bitsPerSec_(std::llround(bits_per_sec))
+{
+    if (bitsPerSec_ <= 0)
+        fatal("CrossLink requires a positive link rate");
+    if (latency <= 0)
+        fatal("CrossLink requires a positive latency "
+              "(it is the conservative lookahead)");
+    dirs_[0] = Direction{&a, &b, idA, idB, 0, 0, 0, {}, {}};
+    dirs_[1] = Direction{&b, &a, idB, idA, 0, 0, 0, {}, {}};
+    ports_[0].link_ = this;
+    ports_[0].outDir_ = 0;
+    ports_[1].link_ = this;
+    ports_[1].outDir_ = 1;
+}
+
+NetPort &
+CrossLink::port(int end)
+{
+    simAssert(end == 0 || end == 1, "CrossLink::port bad end");
+    return ports_[end];
+}
+
+void
+CrossLink::stageSend(int dirIdx, const NetPacket &pkt)
+{
+    // Runs on the sending machine's executing thread, inside its
+    // epoch window: only src-side state is touched; nothing crosses
+    // to the destination queue until the barrier merge.
+    Direction &dir = dirs_[dirIdx];
+    const Ticks now = dir.src->now();
+    const Ticks start = std::max(now, dir.freeAt);
+    const Ticks done =
+        start + netlink::serializationTicks(pkt.bytes, bitsPerSec_);
+    dir.freeAt = done;
+    Ticks arrival = done + latency_;
+    if (FaultInjector *faults = dir.src->events().faultInjector();
+        SVTSIM_UNLIKELY(faults != nullptr))
+        arrival += faults->delay(FaultSite::VirtioCompletionDelay);
+    dir.staged.push_back(Delivery{arrival, dir.srcId, dir.dstId,
+                                  dir.sendSeq++, pkt, this, dirIdx});
+}
+
+void
+CrossLink::drainStaged(std::vector<Delivery> &out)
+{
+    for (Direction &dir : dirs_) {
+        out.insert(out.end(), dir.staged.begin(), dir.staged.end());
+        dir.staged.clear();
+    }
+}
+
+void
+CrossLink::deliver(const Delivery &d)
+{
+    Direction *dir = &dirs_[d.dir];
+    if (!dir->handler)
+        panic("CrossLink: delivery with no receive handler at the "
+              "destination end");
+    if (d.arrival < dir->dst->now())
+        panic("CrossLink: staged arrival %lld is in the destination's "
+              "past (now=%lld) — lookahead/horizon bug",
+              static_cast<long long>(d.arrival),
+              static_cast<long long>(dir->dst->now()));
+    // The closure holds a Direction pointer plus the packet (fits the
+    // inline EventClosure buffer); the handler is invoked in place,
+    // never copied per delivery.
+    dir->dst->events().schedule(d.arrival, [dir, pkt = d.pkt] {
+        ++dir->delivered;
+        dir->handler(pkt);
+    }, "cross-link");
+}
+
+void
+CrossLink::deliverStaged()
+{
+    std::vector<Delivery> all;
+    drainStaged(all);
+    std::stable_sort(all.begin(), all.end(), canonicalLess);
+    for (const Delivery &d : all)
+        deliver(d);
+}
+
+} // namespace svtsim

@@ -1,6 +1,7 @@
 #include "io/net_fabric.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "sim/compiler.h"
 #include "sim/fault.h"
@@ -8,74 +9,66 @@
 
 namespace svtsim {
 
-namespace {
-
-/** Ethernet + IP + TCP framing per segment. */
-constexpr std::uint32_t framingBytes = 78;
-
-} // namespace
-
 NetFabric::NetFabric(Machine &machine, Ticks latency,
                      double bits_per_sec)
-    : machine_(machine), latency_(latency), bitsPerSec_(bits_per_sec)
+    : machine_(machine), latency_(latency),
+      bitsPerSec_(std::llround(bits_per_sec))
 {
-    if (bits_per_sec <= 0)
+    if (bitsPerSec_ <= 0)
         fatal("NetFabric requires a positive link rate");
 }
 
 void
 NetFabric::setPeerHandler(std::function<void(NetPacket)> handler)
 {
-    peerHandler_ = std::move(handler);
+    dirs_[0].handler = std::move(handler);
 }
 
 void
 NetFabric::setLocalHandler(std::function<void(NetPacket)> handler)
 {
-    localHandler_ = std::move(handler);
+    dirs_[1].handler = std::move(handler);
 }
 
 Ticks
 NetFabric::serialization(std::uint32_t bytes) const
 {
-    double bits = static_cast<double>(bytes + framingBytes) * 8.0;
-    return static_cast<Ticks>(bits / bitsPerSec_ * 1e12);
+    return netlink::serializationTicks(bytes, bitsPerSec_);
 }
 
 void
-NetFabric::transmit(const NetPacket &pkt, Ticks &free_at,
-                    std::function<void(NetPacket)> &handler,
-                    std::uint64_t &counter)
+NetFabric::transmit(const NetPacket &pkt, Direction &dir)
 {
-    if (!handler)
+    if (!dir.handler)
         panic("NetFabric: transmit with no receiver configured");
     Ticks now = machine_.now();
-    Ticks start = std::max(now, free_at);
+    Ticks start = std::max(now, dir.freeAt);
     Ticks done = start + serialization(pkt.bytes);
-    free_at = done;
+    dir.freeAt = done;
     Ticks arrival = done + latency_;
     if (FaultInjector *faults = machine_.events().faultInjector();
         SVTSIM_UNLIKELY(faults != nullptr))
         arrival += faults->delay(FaultSite::VirtioCompletionDelay);
-    auto &h = handler;
-    NetPacket copy = pkt;
-    std::uint64_t *ctr = &counter;
-    machine_.events().schedule(arrival, [&h, copy, ctr] {
-        ++*ctr;
-        h(copy);
+    // The closure carries a Direction pointer and the packet — the
+    // stored handler is invoked in place, never copied per delivery —
+    // and fits EventClosure's inline buffer.
+    Direction *d = &dir;
+    machine_.events().schedule(arrival, [d, pkt] {
+        ++d->delivered;
+        d->handler(pkt);
     }, "net-fabric");
 }
 
 void
 NetFabric::sendToPeer(const NetPacket &pkt)
 {
-    transmit(pkt, txFreeAt_, peerHandler_, toPeer_);
+    transmit(pkt, dirs_[0]);
 }
 
 void
 NetFabric::sendToLocal(const NetPacket &pkt)
 {
-    transmit(pkt, rxFreeAt_, localHandler_, toLocal_);
+    transmit(pkt, dirs_[1]);
 }
 
 } // namespace svtsim

@@ -11,24 +11,24 @@
 #include <functional>
 
 #include "arch/machine.h"
+#include "io/net_port.h"
 
 namespace svtsim {
 
-/** One packet on the wire. */
-struct NetPacket
-{
-    std::uint64_t id = 0;
-    std::uint32_t bytes = 0;
-    std::uint64_t payload = 0;
-};
-
 /**
  * Point-to-point link with propagation latency and serialization
- * bandwidth. Serialization is modeled with a per-direction "link free
- * at" horizon, so back-to-back large segments queue behind each other
- * and the STREAM workloads saturate at line rate.
+ * bandwidth, both ends on one Machine. Serialization is modeled with
+ * a per-direction "link free at" horizon, so back-to-back large
+ * segments queue behind each other and the STREAM workloads saturate
+ * at line rate.
+ *
+ * The NetPort view exposes the local end: send() transmits toward the
+ * peer and setReceiveHandler() installs the local delivery handler —
+ * so workloads written against NetPort run unchanged whether the peer
+ * is an in-queue handler (this class) or a real second machine
+ * (CrossLink).
  */
-class NetFabric
+class NetFabric : public NetPort
 {
   public:
     NetFabric(Machine &machine, Ticks latency, double bits_per_sec);
@@ -45,26 +45,37 @@ class NetFabric
     /** Transmit from the peer toward the local machine. */
     void sendToLocal(const NetPacket &pkt);
 
+    // -- NetPort (the local end) ------------------------------------------
+    void send(const NetPacket &pkt) override { sendToPeer(pkt); }
+    void
+    setReceiveHandler(std::function<void(NetPacket)> handler) override
+    {
+        setLocalHandler(std::move(handler));
+    }
     /** Serialization time of @p bytes at link rate (with framing). */
-    Ticks serialization(std::uint32_t bytes) const;
+    Ticks serialization(std::uint32_t bytes) const override;
 
-    std::uint64_t deliveredToPeer() const { return toPeer_; }
-    std::uint64_t deliveredToLocal() const { return toLocal_; }
+    std::uint64_t deliveredToPeer() const { return dirs_[0].delivered; }
+    std::uint64_t deliveredToLocal() const { return dirs_[1].delivered; }
 
   private:
-    void transmit(const NetPacket &pkt, Ticks &free_at,
-                  std::function<void(NetPacket)> &handler,
-                  std::uint64_t &counter);
+    /** One direction's state; delivery closures capture a pointer to
+     *  this (plus the packet) instead of copying the handler. */
+    struct Direction
+    {
+        Ticks freeAt = 0;
+        std::function<void(NetPacket)> handler;
+        std::uint64_t delivered = 0;
+    };
+
+    void transmit(const NetPacket &pkt, Direction &dir);
 
     Machine &machine_;
     Ticks latency_;
-    double bitsPerSec_;
-    Ticks txFreeAt_ = 0;
-    Ticks rxFreeAt_ = 0;
-    std::function<void(NetPacket)> peerHandler_;
-    std::function<void(NetPacket)> localHandler_;
-    std::uint64_t toPeer_ = 0;
-    std::uint64_t toLocal_ = 0;
+    /** Link rate in bits/sec (integral; see netlink::serializationTicks). */
+    std::int64_t bitsPerSec_;
+    /** [0] local -> peer, [1] peer -> local. */
+    Direction dirs_[2];
 };
 
 } // namespace svtsim

@@ -7,8 +7,8 @@
 
 namespace svtsim {
 
-VirtioNetStack::VirtioNetStack(VirtStack &stack, NetFabric &fabric)
-    : stack_(stack), fabric_(fabric),
+VirtioNetStack::VirtioNetStack(VirtStack &stack, NetPort &port)
+    : stack_(stack), port_(port),
       l2Tx_(stack.machine(), "l2.net.tx"),
       l2Rx_(stack.machine(), "l2.net.rx"),
       l1Rx_(stack.machine(), "l1.net.rx")
@@ -30,7 +30,7 @@ VirtioNetStack::VirtioNetStack(VirtStack &stack, NetFabric &fabric)
             return 0;
         });
 
-    fabric_.setLocalHandler([this](NetPacket pkt) { onWireRx(pkt); });
+    port_.setReceiveHandler([this](NetPacket pkt) { onWireRx(pkt); });
 
     stack_.setIrqHandler(0, vec::hostNic, [this] { l0NicIrq(); });
     stack_.setIrqHandler(1, vec::l1VirtioNet, [this] { l1NetIrq(); });
@@ -88,9 +88,9 @@ VirtioNetStack::vhostTxPoll()
             c.nicPerPacket +
                 static_cast<Ticks>(buf.bytes) * c.netCopyPerByte);
         NetPacket pkt{buf.id, buf.bytes, buf.payload};
-        auto *fabric = &fabric_;
+        auto *port = &port_;
         m.events().schedule(l0_done,
-                            [fabric, pkt] { fabric->sendToPeer(pkt); },
+                            [port, pkt] { port->send(pkt); },
                             "vhost-tx");
         l2Tx_.completeQuiet(buf);
         ++txUnreaped_;

@@ -18,7 +18,7 @@
 
 #include "hv/virt_stack.h"
 #include "io/async_stage.h"
-#include "io/net_fabric.h"
+#include "io/net_port.h"
 #include "io/virtqueue.h"
 
 namespace svtsim {
@@ -47,7 +47,12 @@ constexpr Gpa l1BlkDoorbell = 0xfd001000;
 class VirtioNetStack
 {
   public:
-    VirtioNetStack(VirtStack &stack, NetFabric &fabric);
+    /**
+     * @param port The wire attachment: a NetFabric end for the
+     *             classic single-machine benches, or a CrossLink end
+     *             when the peer is a real second machine.
+     */
+    VirtioNetStack(VirtStack &stack, NetPort &port);
 
     // -- L2 guest driver interface -------------------------------------
     /**
@@ -83,7 +88,7 @@ class VirtioNetStack
     void l2NetIrq();
 
     VirtStack &stack_;
-    NetFabric &fabric_;
+    NetPort &port_;
     Virtqueue l2Tx_;
     Virtqueue l2Rx_;
     Virtqueue l1Rx_;

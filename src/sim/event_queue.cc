@@ -334,6 +334,104 @@ EventQueue::advanceTo(Ticks when)
               static_cast<long long>(when),
               static_cast<long long>(now_));
     }
+    // A target at or past the horizon would fire events this queue
+    // does not own yet; hand off to the gate. Ungated queues only
+    // take this branch for a saturated advanceTo(maxTick), where
+    // gatedAdvance degenerates to the plain loop.
+    if (SVTSIM_UNLIKELY(when >= horizon_)) {
+        gatedAdvance(when, /*idle=*/false);
+        return;
+    }
+    advanceUngated(when);
+}
+
+void
+EventQueue::idleTo(Ticks when)
+{
+    if (SVTSIM_UNLIKELY(when < now_)) {
+        panic("EventQueue::idleTo into the past (when=%lld now=%lld)",
+              static_cast<long long>(when),
+              static_cast<long long>(now_));
+    }
+    if (SVTSIM_UNLIKELY(when >= horizon_)) {
+        gatedAdvance(when, /*idle=*/true);
+        return;
+    }
+    advanceUngated(when);
+}
+
+void
+EventQueue::gatedAdvance(Ticks when, bool idle)
+{
+    for (;;) {
+        if (when < horizon_) {
+            advanceUngated(when);
+            return;
+        }
+        runUntilTick(horizon_);
+        if (gate_ == nullptr || horizon_ == maxTick) {
+            // No coordinator (saturated advance on an ungated queue),
+            // or the gate granted maxTick to release the queue: fall
+            // through to the plain loop.
+            advanceUngated(when);
+            return;
+        }
+        const Ticks granted = gate_->awaitHorizon(when);
+        simAssert(granted > horizon_,
+                  "AdvanceGate horizon did not move forward");
+        horizon_ = granted;
+        if (idle) {
+            // Idle waits hand control back after every epoch so the
+            // caller's halt loop sees barrier-merged packets promptly:
+            // either the grant now covers the wait target (finish the
+            // advance) or fire the new window and return early with
+            // now() < when.
+            if (when < horizon_)
+                advanceUngated(when);
+            else
+                runUntilTick(horizon_);
+            return;
+        }
+    }
+}
+
+std::uint64_t
+EventQueue::runUntilTick(Ticks limit)
+{
+    std::uint64_t fired = 0;
+    for (;;) {
+        const int level = lowestOccupiedLevel();
+        if (level < 0) {
+            if (far_.empty())
+                break;
+            const Ticks farWhen = far_.begin()->first.first;
+            if (farWhen >= limit)
+                break;
+            moveTimeTo(farWhen); // pulls the far epoch into the wheel
+            continue;
+        }
+        const int slot = firstOccupied(level);
+        if (level > 0) {
+            const Ticks base = slotBase(level, slot);
+            if (base >= limit)
+                break; // every event in the slot is >= base >= limit
+            moveTimeTo(base); // cascades the slot down; re-scan
+            continue;
+        }
+        const Ticks t = level0Time(slot);
+        if (t >= limit)
+            break;
+        const std::uint64_t before = executed_;
+        moveTimeTo(t);
+        fireCurrentSlot(t);
+        fired += executed_ - before;
+    }
+    return fired;
+}
+
+void
+EventQueue::advanceUngated(Ticks when)
+{
     for (;;) {
         const int level = lowestOccupiedLevel();
         if (level < 0) {

@@ -64,6 +64,34 @@ class FaultInjector;
  */
 using EventId = std::uint64_t;
 
+/**
+ * Conservative-execution hook: bounds how far an EventQueue may
+ * advance before synchronizing with an external coordinator (the
+ * parallel cluster engine's epoch barrier).
+ *
+ * While a gate is installed the queue owns simulated time strictly
+ * below its current horizon: it may fire events with timestamp
+ * < horizon and move now() up to (but never onto) the horizon. An
+ * advance that needs to cross the horizon drains everything below it
+ * and then calls awaitHorizon(), which blocks the calling thread at
+ * the cluster barrier until a larger horizon is granted.
+ */
+class AdvanceGate
+{
+  public:
+    virtual ~AdvanceGate() = default;
+
+    /**
+     * Called on the advancing thread once everything below the
+     * current horizon has fired and the advance wants to continue to
+     * @p target. Blocks until more time is granted.
+     *
+     * @return The new exclusive horizon; must be strictly greater
+     *         than the previous one (maxTick un-gates the queue).
+     */
+    virtual Ticks awaitHorizon(Ticks target) = 0;
+};
+
 /** Invalid/none event handle. */
 constexpr EventId invalidEventId = 0;
 
@@ -141,6 +169,44 @@ class EventQueue
      * maxTick instead of overflowing.
      */
     void advanceBy(Ticks delta);
+
+    /**
+     * Run every event with timestamp < @p limit, in order, leaving
+     * now() at the last fired event's timestamp (or unchanged if
+     * nothing fired). Unlike advanceTo(), time never moves onto
+     * @p limit itself, and unlike runUntil() no predicate call is
+     * paid per event — this is the cluster epoch drain ("fire
+     * everything this machine owns below the horizon").
+     *
+     * @return Number of events fired.
+     */
+    std::uint64_t runUntilTick(Ticks limit);
+
+    /**
+     * Advance toward @p when for an idle wait (Machine::idleUntil).
+     * Ungated this is exactly advanceTo(when). Under an AdvanceGate
+     * it may instead return early — after one more horizon window has
+     * been granted and drained — with now() < when, so a halt/idle
+     * loop re-evaluates its wakeup condition against packets merged
+     * in at the epoch barrier rather than sleeping blindly through
+     * them to a watchdog deadline.
+     */
+    void idleTo(Ticks when);
+
+    /**
+     * Install (or clear, gate == nullptr) the conservative-execution
+     * gate. @p horizon is the initial exclusive bound on event
+     * execution; clearing the gate resets the horizon to maxTick.
+     */
+    void
+    setAdvanceGate(AdvanceGate *gate, Ticks horizon)
+    {
+        gate_ = gate;
+        horizon_ = gate ? horizon : maxTick;
+    }
+
+    /** Current exclusive advance horizon (maxTick when un-gated). */
+    Ticks horizon() const { return horizon_; }
 
     /**
      * Run the next pending event, advancing now() to its timestamp.
@@ -296,6 +362,15 @@ class EventQueue
     /** Fire all events at tick t (== now_) in seq order. */
     void fireCurrentSlot(Ticks t);
 
+    /** advanceTo() body without the horizon check. */
+    void advanceUngated(Ticks when);
+    /**
+     * Slow path for an advance whose target crosses the horizon:
+     * drain below it, block at the gate for more time, repeat. An
+     * idle advance returns after the first re-grant (see idleTo()).
+     */
+    void gatedAdvance(Ticks when, bool idle);
+
     std::uint16_t internLabel(std::string_view label);
 
     // -- Arena -------------------------------------------------------------
@@ -326,6 +401,9 @@ class EventQueue
     LabelCacheEntry labelCache_[16];
 
     Ticks now_ = 0;
+    /** Exclusive bound on event execution while a gate is installed. */
+    Ticks horizon_ = maxTick;
+    AdvanceGate *gate_ = nullptr;
     std::uint64_t nextSeq_ = 0;
     std::size_t liveCount_ = 0;
     std::uint64_t executed_ = 0;

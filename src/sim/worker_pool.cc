@@ -28,9 +28,27 @@ WorkerPool::submit(std::function<void()> task)
 {
     {
         std::lock_guard<std::mutex> lock(mutex_);
-        queue_.push_back(std::move(task));
+        queue_.push_back(Item{std::move(task), nullptr});
     }
     taskReady_.notify_one();
+}
+
+void
+WorkerPool::runTasks(std::function<void()> *const *tasks,
+                     std::size_t count)
+{
+    if (count == 0)
+        return;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        for (std::size_t i = 0; i < count; ++i)
+            queue_.push_back(Item{{}, tasks[i]});
+    }
+    if (count == 1)
+        taskReady_.notify_one();
+    else
+        taskReady_.notify_all();
+    wait();
 }
 
 void
@@ -52,7 +70,7 @@ void
 WorkerPool::workerLoop()
 {
     for (;;) {
-        std::function<void()> task;
+        Item item;
         {
             std::unique_lock<std::mutex> lock(mutex_);
             taskReady_.wait(lock, [this] {
@@ -62,11 +80,14 @@ WorkerPool::workerLoop()
                 // stopping_ and nothing left to drain.
                 return;
             }
-            task = std::move(queue_.front());
+            item = std::move(queue_.front());
             queue_.pop_front();
             ++inFlight_;
         }
-        task();
+        if (item.borrowed != nullptr)
+            (*item.borrowed)();
+        else
+            item.owned();
         {
             std::lock_guard<std::mutex> lock(mutex_);
             --inFlight_;

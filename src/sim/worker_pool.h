@@ -41,6 +41,18 @@ class WorkerPool
     /** Enqueue a task. Thread-safe. */
     void submit(std::function<void()> task);
 
+    /**
+     * Epoch/bulk path: run @p count persistent tasks and block until
+     * all of them (and any earlier submit()s) have completed. The
+     * tasks are borrowed by pointer — nothing is copied or
+     * heap-allocated per task — so a caller that re-runs the same
+     * task set every window (the cluster engine's per-machine epoch
+     * slots) pays no per-window allocation. The pointed-to callables
+     * must stay alive and unmodified until this call returns.
+     */
+    void runTasks(std::function<void()> *const *tasks,
+                  std::size_t count);
+
     /** Block until every task submitted so far has completed. */
     void wait();
 
@@ -50,12 +62,22 @@ class WorkerPool
     static int defaultWorkers();
 
   private:
+    /**
+     * Queue entry: either an owned callable (submit()) or a borrowed
+     * pointer to a caller-owned persistent slot (runTasks()).
+     */
+    struct Item
+    {
+        std::function<void()> owned;
+        std::function<void()> *borrowed = nullptr;
+    };
+
     void workerLoop();
 
     std::mutex mutex_;
     std::condition_variable taskReady_;
     std::condition_variable allDone_;
-    std::deque<std::function<void()>> queue_;
+    std::deque<Item> queue_;
     std::size_t inFlight_ = 0;
     bool stopping_ = false;
     std::vector<std::thread> threads_;

@@ -90,16 +90,31 @@ BenchHarness::add(std::string name, VirtMode mode, StackConfig config,
     return add(std::move(s));
 }
 
+Scenario &
+BenchHarness::addCluster(std::string name, VirtMode mode,
+                         ClusterScenarioFn run)
+{
+    Scenario s;
+    s.name = std::move(name);
+    s.mode = mode;
+    s.clusterRun = std::move(run);
+    return add(std::move(s));
+}
+
 int
 BenchHarness::usage(std::ostream &os, int status) const
 {
     os << "usage: " << name_
-       << " [--jobs=N] [--seed=S] [--trace=FILE] [--json=FILE]"
-          " [--metrics=FILE] [--faults=SPEC] [--breakdown]"
-          " [--list]\n\n"
+       << " [--jobs=N] [--cluster-jobs=N] [--seed=S] [--trace=FILE]"
+          " [--json=FILE] [--metrics=FILE] [--faults=SPEC]"
+          " [--breakdown] [--list]\n\n"
        << title_ << "\n\n"
        << "  --jobs=N        run scenarios on N worker threads\n"
        << "                  (0 = one per hardware thread; default 1)\n"
+       << "  --cluster-jobs=N  workers inside each cluster scenario\n"
+       << "                  (0 = one per hardware thread; default 1 =\n"
+       << "                  sequential oracle; results byte-identical\n"
+       << "                  for any value)\n"
        << "  --seed=S        base seed for every scenario's "
           "NestedSystem (default 1)\n"
        << "  --trace=FILE    export per-scenario Chrome trace JSON and "
@@ -233,6 +248,15 @@ BenchHarness::main(int argc, char **argv)
             }
             options.jobs = n == 0 ? WorkerPool::defaultWorkers()
                                   : static_cast<int>(n);
+        } else if (arg.rfind("--cluster-jobs=", 0) == 0) {
+            std::uint64_t n = 0;
+            if (!parseUint(value("--cluster-jobs="), n) || n > 4096) {
+                std::cerr << name_ << ": bad --cluster-jobs value '"
+                          << value("--cluster-jobs=") << "'\n";
+                return usage(std::cerr, 2);
+            }
+            options.clusterJobs = n == 0 ? WorkerPool::defaultWorkers()
+                                         : static_cast<int>(n);
         } else if (arg.rfind("--seed=", 0) == 0) {
             if (!parseUint(value("--seed="), options.seed)) {
                 std::cerr << name_ << ": bad --seed value '"
@@ -280,6 +304,7 @@ BenchHarness::main(int argc, char **argv)
 
     SweepOptions sweep_options;
     sweep_options.jobs = options.jobs;
+    sweep_options.clusterJobs = options.clusterJobs;
     sweep_options.baseSeed = options.seed;
     sweep_options.tracePath = options.tracePath;
     if (!options.faultsSpec.empty())

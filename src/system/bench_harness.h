@@ -46,6 +46,10 @@ struct BenchOptions
     /** --faults=SPEC: fault plan installed on every scenario's
      *  machine (see FaultPlan::parse for the grammar). */
     std::string faultsSpec;
+    /** --cluster-jobs=N: workers *inside* each cluster scenario
+     *  (0 = one per hardware thread). Results are byte-identical for
+     *  any value; 1 is the sequential oracle. */
+    int clusterJobs = 1;
     /** --breakdown: print the Table 1-style per-scenario report. */
     bool breakdown = false;
 };
@@ -73,6 +77,11 @@ class BenchHarness
     /** Shorthand with a custom StackConfig. */
     Scenario &add(std::string name, VirtMode mode, StackConfig config,
                   ScenarioFn run);
+
+    /** Append a multi-machine (cluster) scenario; `mode` labels the
+     *  scenario in JSON (the callback builds its own machines). */
+    Scenario &addCluster(std::string name, VirtMode mode,
+                         ClusterScenarioFn run);
 
     /** Install the report callback (prints the human tables). */
     void onReport(ReportFn fn) { report_ = std::move(fn); }

@@ -1,0 +1,347 @@
+#include "system/cluster.h"
+
+#include <algorithm>
+
+#include "sim/log.h"
+#include "sim/trace.h"
+#include "sim/worker_pool.h"
+
+namespace svtsim {
+
+/*
+ * Lookahead safety argument (see also the header and DESIGN.md):
+ *
+ * Let floor_i be machine i's floor at a barrier and
+ * H' = min_i(floor_i) + L with L = min link latency. Machine i's
+ * first action in the next window — an event firing, or its parked
+ * driver resuming — happens at local time t >= floor_i >= H' - L, and
+ * every later action in the window is later still. A packet sent at
+ * time t arrives at t + serialization + latency >= t + L >= H'. So
+ * every packet staged during the window lands at or after H', i.e.
+ * never in simulated time any machine (which executes strictly below
+ * H') has already passed: merging at the barrier loses nothing and
+ * reorders nothing. Progress: H' > H because every floor is >= the
+ * previous horizon's base and L > 0.
+ *
+ * Byte-identity across worker counts: within a window machines only
+ * touch their own state plus the src side of their links, so each
+ * machine's window execution is a pure function of its state at the
+ * window start; the barrier merge orders staged packets canonically
+ * by (deliveryTick, srcMachineId, seq) (ties across distinct links
+ * broken by link creation order via stable_sort over the fixed drain
+ * order); horizons are computed from simulated state only. Nothing
+ * anywhere depends on wall-clock interleaving.
+ */
+
+Ticks
+Cluster::DriverGate::awaitHorizon(Ticks target)
+{
+    std::unique_lock<std::mutex> lk(mutex);
+    parkedTarget = target;
+    running = false;
+    cv.notify_all();
+    cv.wait(lk, [this] { return running; });
+    parkedTarget = maxTick;
+    return grant;
+}
+
+Cluster::Cluster(std::uint64_t baseSeed) : baseSeed_(baseSeed) {}
+
+Cluster::~Cluster()
+{
+    // run() joins every driver thread on all paths; a Cluster that
+    // never ran never spawned any.
+    for (auto &np : nodes_)
+        simAssert(!np->thread.joinable(),
+                  "Cluster destroyed with a live driver thread");
+}
+
+int
+Cluster::addMachine(const std::string &name, VirtMode mode,
+                    StackConfig config,
+                    std::optional<std::uint64_t> seedOffset)
+{
+    simAssert(!ran_, "Cluster::addMachine after run()");
+    const int id = size();
+    const std::uint64_t offset =
+        seedOffset ? *seedOffset : static_cast<std::uint64_t>(id);
+    auto node = std::make_unique<Node>();
+    node->name = name;
+    node->system =
+        std::make_unique<NestedSystem>(mode, config, baseSeed_ + offset);
+    nodes_.push_back(std::move(node));
+    return id;
+}
+
+NestedSystem &
+Cluster::system(int id)
+{
+    simAssert(id >= 0 && id < size(), "Cluster::system bad id");
+    return *nodes_[static_cast<std::size_t>(id)]->system;
+}
+
+Machine &
+Cluster::machine(int id)
+{
+    return system(id).machine();
+}
+
+const std::string &
+Cluster::machineName(int id) const
+{
+    simAssert(id >= 0 && id < size(), "Cluster::machineName bad id");
+    return nodes_[static_cast<std::size_t>(id)]->name;
+}
+
+CrossLink &
+Cluster::connect(int a, int b, Ticks latency, double bits_per_sec)
+{
+    simAssert(!ran_, "Cluster::connect after run()");
+    simAssert(a != b, "Cluster::connect machine to itself");
+    links_.push_back(std::make_unique<CrossLink>(
+        machine(a), a, machine(b), b, latency, bits_per_sec));
+    lookahead_ = std::min(lookahead_, latency);
+    return *links_.back();
+}
+
+void
+Cluster::setDriver(int id, std::function<void(NestedSystem &)> fn)
+{
+    simAssert(!ran_, "Cluster::setDriver after run()");
+    simAssert(id >= 0 && id < size(), "Cluster::setDriver bad id");
+    nodes_[static_cast<std::size_t>(id)]->driver = std::move(fn);
+}
+
+void
+Cluster::installFaultPlan(const FaultPlan &plan)
+{
+    for (auto &np : nodes_)
+        np->system->machine().installFaultPlan(plan);
+}
+
+Ticks
+Cluster::floorOf(const Node &n) const
+{
+    // Only called while the machine is quiescent (parked driver or
+    // barrier), so reading queue state and the parked target is
+    // ordered by the gate mutex hand-off.
+    const Ticks next = n.system->machine().events().nextEventTime();
+    if (n.gate && !n.gate->finished)
+        return std::min(next, n.gate->parkedTarget);
+    return next;
+}
+
+void
+Cluster::waitQuiescent(DriverGate &gate)
+{
+    std::unique_lock<std::mutex> lk(gate.mutex);
+    gate.cv.wait(lk, [&gate] { return !gate.running; });
+}
+
+void
+Cluster::stepMachine(Node &n, Ticks horizon)
+{
+    if (n.gate) {
+        std::unique_lock<std::mutex> lk(n.gate->mutex);
+        if (!n.gate->finished) {
+            // Hand the driver thread the new horizon and lend it this
+            // worker's slot until it parks again (or finishes) — so
+            // the number of simultaneously *running* machines never
+            // exceeds the worker count.
+            n.gate->grant = horizon;
+            n.gate->running = true;
+            n.gate->cv.notify_all();
+            n.gate->cv.wait(lk, [&n] { return !n.gate->running; });
+            return;
+        }
+    }
+    // Follower (or finished-driver) machine: plain horizon drain on
+    // the worker itself. The drain moves the clock from event to
+    // event with no driver code in between, so any advancement not
+    // already attributed by handler consume() calls is idle time —
+    // charge it, or the trace conservation invariant (attributed +
+    // idle + unattributed == elapsed) breaks on follower machines.
+    Machine &m = n.system->machine();
+    TraceSink *sink = m.events().traceSink();
+    if (SVTSIM_UNLIKELY(sink != nullptr)) {
+        const TraceSink::Conservation before = sink->checkConservation();
+        const Ticks t0 = m.now();
+        m.events().runUntilTick(horizon);
+        const TraceSink::Conservation after = sink->checkConservation();
+        const Ticks accounted =
+            (after.attributed + after.idle + after.unattributed) -
+            (before.attributed + before.idle + before.unattributed);
+        sink->attributeIdle((m.now() - t0) - accounted);
+        return;
+    }
+    m.events().runUntilTick(horizon);
+}
+
+std::uint64_t
+Cluster::mergeStaged(Ticks grantedHorizon)
+{
+    scratch_.clear();
+    for (auto &l : links_)
+        l->drainStaged(scratch_);
+    if (scratch_.empty())
+        return 0;
+    std::stable_sort(scratch_.begin(), scratch_.end(),
+                     CrossLink::canonicalLess);
+    for (const CrossLink::Delivery &d : scratch_) {
+        if (d.arrival < grantedHorizon)
+            panic("Cluster: staged arrival %lld below the epoch "
+                  "horizon %lld (lookahead violated)",
+                  static_cast<long long>(d.arrival),
+                  static_cast<long long>(grantedHorizon));
+        d.link->deliver(d);
+    }
+    return scratch_.size();
+}
+
+ClusterStats
+Cluster::run(int jobs)
+{
+    simAssert(!ran_, "Cluster::run may only be called once");
+    ran_ = true;
+    ClusterStats stats;
+    if (nodes_.empty())
+        return stats;
+
+    bool anyDriver = false;
+    for (auto &np : nodes_) {
+        Node &n = *np;
+        if (!n.driver)
+            continue;
+        anyDriver = true;
+        n.gate = std::make_unique<DriverGate>();
+        // The driver owns the machine from spawn (setup code runs
+        // before the first epoch); horizon 0 parks it at its first
+        // advance, which is where the coordinator picks it up.
+        n.system->machine().events().setAdvanceGate(n.gate.get(), 0);
+        n.thread = std::thread([this, &n] {
+            try {
+                n.driver(*n.system);
+            } catch (const std::exception &e) {
+                std::lock_guard<std::mutex> lk(errorMutex_);
+                if (driverError_.empty())
+                    driverError_ = n.name + ": " + e.what();
+            }
+            std::lock_guard<std::mutex> lk(n.gate->mutex);
+            n.gate->finished = true;
+            n.gate->running = false;
+            n.gate->cv.notify_all();
+        });
+    }
+
+    try {
+        for (auto &np : nodes_)
+            if (np->gate)
+                waitQuiescent(*np->gate);
+
+        std::unique_ptr<WorkerPool> pool;
+        if (jobs > 1)
+            pool = std::make_unique<WorkerPool>(
+                std::min(jobs, size()));
+
+        // Reusable per-machine epoch-step slots (WorkerPool bulk
+        // path): built once, borrowed by pointer every window.
+        Ticks epochHorizon = 0;
+        for (auto &np : nodes_) {
+            Node *n = np.get();
+            // Pool tasks must not throw: a follower drain that panics
+            // (an event handler bug) is recorded and surfaced after
+            // the barrier instead of escaping into the pool.
+            n->step = [this, n, &epochHorizon] {
+                try {
+                    stepMachine(*n, epochHorizon);
+                } catch (const std::exception &e) {
+                    std::lock_guard<std::mutex> lk(errorMutex_);
+                    if (driverError_.empty())
+                        driverError_ = n->name + ": " + e.what();
+                }
+            };
+        }
+        std::vector<std::function<void()> *> active;
+        active.reserve(nodes_.size());
+
+        Ticks horizon = 0;
+        for (;;) {
+            stats.merged += mergeStaged(horizon);
+
+            bool driverAlive = false;
+            Ticks minFloor = maxTick;
+            for (auto &np : nodes_) {
+                if (np->gate && !np->gate->finished)
+                    driverAlive = true;
+                minFloor = std::min(minFloor, floorOf(*np));
+            }
+            // Termination: every driver returned (driver mode), or
+            // every queue drained (pure event-follower mode).
+            if (anyDriver ? !driverAlive : minFloor == maxTick)
+                break;
+            if (minFloor == maxTick)
+                panic("Cluster: deadlock — drivers outstanding but no "
+                      "machine can ever advance");
+
+            const Ticks next = lookahead_ >= maxTick - minFloor
+                                   ? maxTick
+                                   : minFloor + lookahead_;
+            simAssert(next > horizon,
+                      "Cluster: epoch horizon failed to advance");
+            epochHorizon = next;
+
+            active.clear();
+            for (auto &np : nodes_) {
+                Node &n = *np;
+                bool needs =
+                    n.system->machine().events().nextEventTime() < next;
+                if (n.gate && !n.gate->finished)
+                    needs = needs || n.gate->parkedTarget < next;
+                if (needs)
+                    active.push_back(&n.step);
+            }
+            ++stats.epochs;
+            stats.steps += active.size();
+            if (pool)
+                pool->runTasks(active.data(), active.size());
+            else
+                for (auto *s : active)
+                    (*s)();
+            {
+                std::lock_guard<std::mutex> lk(errorMutex_);
+                if (!driverError_.empty())
+                    throw SimError(driverError_);
+            }
+            horizon = next;
+        }
+    } catch (...) {
+        // Release every parked driver (maxTick un-gates its queue) so
+        // the threads unwind — a driver that then hits its own error
+        // records it — and rethrow the coordinator's error.
+        for (auto &np : nodes_) {
+            if (!np->gate)
+                continue;
+            std::lock_guard<std::mutex> lk(np->gate->mutex);
+            np->gate->grant = maxTick;
+            np->gate->running = true;
+            np->gate->cv.notify_all();
+        }
+        for (auto &np : nodes_)
+            if (np->thread.joinable())
+                np->thread.join();
+        for (auto &np : nodes_)
+            np->system->machine().events().setAdvanceGate(nullptr, 0);
+        throw;
+    }
+
+    for (auto &np : nodes_)
+        if (np->thread.joinable())
+            np->thread.join();
+    for (auto &np : nodes_)
+        np->system->machine().events().setAdvanceGate(nullptr, 0);
+    if (!driverError_.empty())
+        throw SimError(driverError_);
+    return stats;
+}
+
+} // namespace svtsim

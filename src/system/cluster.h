@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Conservative-time-window parallel execution engine for multi-machine
+ * scenarios.
+ *
+ * A Cluster owns N NestedSystems — each with its own Machine,
+ * EventQueue, RNG streams and MetricsRegistry — connected by
+ * CrossLinks. Execution proceeds in epochs:
+ *
+ *   1. The coordinator computes each machine's *floor*: the earliest
+ *      simulated time at which it can next act (min of its next event
+ *      time and, for a parked synchronous driver, the advance target
+ *      it is blocked on; 0 for a driver that has not started).
+ *   2. The epoch horizon is H' = min(floors) + min(link latency) —
+ *      the conservative lookahead: any packet sent at local time
+ *      t >= floor arrives at t + serialization + latency >= H', so no
+ *      machine advancing below H' can miss it.
+ *   3. Every machine with work below H' advances to it concurrently
+ *      on a WorkerPool worker (or inline, in machine-id order, when
+ *      jobs <= 1 — the sequential oracle). Machines never touch each
+ *      other's state inside a window; outbound packets are staged in
+ *      the links.
+ *   4. At the barrier the staged packets are merged into destination
+ *      queues in canonical (deliveryTick, srcMachineId, seq) order.
+ *
+ * Within a window machines do not interact, so per-machine execution
+ * is a pure function of the machine's own state at the window start;
+ * the merge order is canonical; hence the whole run is byte-identical
+ * for any --cluster-jobs count (enforced by a differential test).
+ *
+ * Synchronous workload code (a netperf loop, a memcached serving
+ * loop) cannot be chopped into horizon-sized calls, so each machine
+ * with a driver runs it on a dedicated thread whose EventQueue wears
+ * an AdvanceGate: an advance that would cross the horizon drains what
+ * it owns and parks at the gate; the epoch step unparks it with the
+ * new horizon and waits for it to park again (or finish). Concurrency
+ * is still bounded by the worker count — a driver thread only ever
+ * runs while its machine's epoch step is waiting on it.
+ */
+
+#ifndef SVTSIM_SYSTEM_CLUSTER_H
+#define SVTSIM_SYSTEM_CLUSTER_H
+
+#include <condition_variable>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "io/cross_link.h"
+#include "sim/fault.h"
+#include "system/nested_system.h"
+
+namespace svtsim {
+
+class WorkerPool;
+
+/** Aggregate run statistics (diagnostics and the speed bench). */
+struct ClusterStats
+{
+    /** Epoch barriers executed. */
+    std::uint64_t epochs = 0;
+    /** Per-machine epoch steps actually run (skipped idle windows
+     *  excluded). */
+    std::uint64_t steps = 0;
+    /** Cross-link packets merged at barriers. */
+    std::uint64_t merged = 0;
+};
+
+/**
+ * N machines + cross links + drivers, advanced in conservative epochs.
+ */
+class Cluster
+{
+  public:
+    /** @param baseSeed Seed mixed with each machine's seed offset. */
+    explicit Cluster(std::uint64_t baseSeed = 1);
+    ~Cluster();
+
+    Cluster(const Cluster &) = delete;
+    Cluster &operator=(const Cluster &) = delete;
+
+    /**
+     * Add a machine built like a sweep scenario's NestedSystem:
+     * paper topology for @p mode, validated config, seeded with
+     * baseSeed + seedOffset (default offset: the machine index, so
+     * machines get decorrelated RNG streams).
+     *
+     * @return The machine id (dense, starting at 0) used in merge
+     *         ordering and CrossLink construction.
+     */
+    int addMachine(const std::string &name, VirtMode mode,
+                   StackConfig config = {},
+                   std::optional<std::uint64_t> seedOffset = {});
+
+    int size() const { return static_cast<int>(nodes_.size()); }
+    NestedSystem &system(int id);
+    Machine &machine(int id);
+    const std::string &machineName(int id) const;
+
+    /**
+     * Connect two machines with a CrossLink. The smallest link
+     * latency in the cluster is the conservative lookahead. Must be
+     * called before run().
+     */
+    CrossLink &connect(int a, int b, Ticks latency,
+                       double bits_per_sec);
+
+    /**
+     * Install @p fn as machine @p id's synchronous driver: it runs on
+     * a dedicated thread under the machine's AdvanceGate for the
+     * duration of run(). Machines without a driver are advanced as
+     * pure event followers.
+     */
+    void setDriver(int id, std::function<void(NestedSystem &)> fn);
+
+    /** Install a fault plan on every machine (PR 4 semantics; each
+     *  machine's injector streams key off its own seed). */
+    void installFaultPlan(const FaultPlan &plan);
+
+    /**
+     * Run to completion: until every driver has returned (or, with no
+     * drivers at all, until every queue drains). @p jobs <= 1 runs
+     * every epoch step inline on the caller, in machine-id order —
+     * the sequential oracle whose output any parallel run must match
+     * byte for byte.
+     *
+     * May be called once per Cluster. Rethrows the first driver
+     * error (SimError) after all drivers have unwound.
+     */
+    ClusterStats run(int jobs);
+
+    /** min link latency (the lookahead), maxTick with no links. */
+    Ticks lookahead() const { return lookahead_; }
+
+  private:
+    /**
+     * Gate shared between a driver thread and the coordinator. The
+     * mutex hand-off at park/unpark is also the memory barrier that
+     * publishes the machine's state between threads.
+     */
+    struct DriverGate : AdvanceGate
+    {
+        Ticks awaitHorizon(Ticks target) override;
+
+        std::mutex mutex;
+        std::condition_variable cv;
+        /** True while the driver thread owns the machine. */
+        bool running = true;
+        bool finished = false;
+        /** Advance target the driver is parked on (valid !running). */
+        Ticks parkedTarget = maxTick;
+        /** Horizon to hand the driver on next unpark. */
+        Ticks grant = 0;
+    };
+
+    struct Node
+    {
+        std::string name;
+        std::unique_ptr<NestedSystem> system;
+        std::function<void(NestedSystem &)> driver;
+        std::unique_ptr<DriverGate> gate;
+        std::thread thread;
+        /** Reusable epoch-step slot handed to WorkerPool::runTasks. */
+        std::function<void()> step;
+    };
+
+    /** Earliest time machine @p n can next act (coordinator side;
+     *  requires the machine parked/finished/follower). */
+    Ticks floorOf(const Node &n) const;
+    /** Advance machine @p n's window to @p horizon (worker side). */
+    void stepMachine(Node &n, Ticks horizon);
+    /** Block until @p n's driver is parked or finished. */
+    static void waitQuiescent(DriverGate &gate);
+    /** Merge staged link packets canonically; returns count. */
+    std::uint64_t mergeStaged(Ticks grantedHorizon);
+
+    std::uint64_t baseSeed_;
+    std::vector<std::unique_ptr<Node>> nodes_;
+    std::vector<std::unique_ptr<CrossLink>> links_;
+    Ticks lookahead_ = maxTick;
+    bool ran_ = false;
+    /** Barrier-merge scratch (reused across epochs). */
+    std::vector<CrossLink::Delivery> scratch_;
+    /** First driver error, rethrown from run(). */
+    std::string driverError_;
+    std::mutex errorMutex_;
+};
+
+} // namespace svtsim
+
+#endif // SVTSIM_SYSTEM_CLUSTER_H

@@ -5,9 +5,55 @@
 
 #include "sim/log.h"
 #include "sim/worker_pool.h"
+#include "system/cluster.h"
 #include "system/trace_session.h"
 
 namespace svtsim {
+
+ClusterContext::ClusterContext(std::uint64_t seed, int jobs,
+                               const SweepOptions &options,
+                               std::string name)
+    : seed_(seed), jobs_(jobs), options_(options),
+      scenarioName_(std::move(name))
+{
+}
+
+ClusterContext::~ClusterContext() = default;
+
+void
+ClusterContext::prepare(Cluster &cluster)
+{
+    if (!options_.faults.empty())
+        cluster.installFaultPlan(options_.faults);
+    for (int i = 0; i < cluster.size(); ++i)
+        traces_.push_back(std::make_unique<ScopedTrace>(
+            cluster.machine(i), options_.tracePath,
+            scenarioName_ + "-m" + std::to_string(i)));
+}
+
+void
+ClusterContext::finish(Cluster &cluster, ScenarioResult &result)
+{
+    simAssert(!finished_, "ClusterContext::finish called twice");
+    finished_ = true;
+    // Every machine's final clock joins the determinism fingerprint:
+    // a divergence anywhere in the cluster shows up in the JSON diff,
+    // not just on machine 0.
+    for (int i = 0; i < cluster.size(); ++i)
+        result.record("final_ticks_m" + std::to_string(i),
+                      static_cast<double>(cluster.machine(i).now()));
+    finalTicks_ = cluster.size() > 0 ? cluster.machine(0).now() : 0;
+    if (cluster.size() > 0)
+        snapshot_ = cluster.machine(0).snapshotMetrics();
+    for (auto &t : traces_) {
+        std::string report = t->finish();
+        if (!report.empty()) {
+            if (!traceReport_.empty())
+                traceReport_ += '\n';
+            traceReport_ += report;
+        }
+    }
+}
 
 void
 ScenarioResult::record(const std::string &key, double value)
@@ -84,6 +130,19 @@ SweepRunner::runOne(const Scenario &scenario,
     result.name_ = scenario.name;
     result.mode_ = scenario.mode;
     result.seed_ = options.baseSeed + scenario.seedOffset;
+    if (scenario.clusterRun) {
+        try {
+            ClusterContext ctx(result.seed_, options.clusterJobs,
+                               options, scenario.name);
+            scenario.clusterRun(ctx, result);
+            result.finalTicks_ = ctx.finalTicks_;
+            result.metricsSnapshot_ = std::move(ctx.snapshot_);
+            result.traceReport_ = std::move(ctx.traceReport_);
+        } catch (const SimError &e) {
+            result.error_ = e.what();
+        }
+        return;
+    }
     try {
         StackConfig config = scenario.config;
         config.mode = scenario.mode;
@@ -116,8 +175,11 @@ SweepRunner::run(const std::vector<Scenario> &scenarios,
         if (!names.insert(s.name).second)
             fatal("sweep: duplicate scenario name '%s'",
                   s.name.c_str());
-        if (!s.run)
+        if (!s.run && !s.clusterRun)
             fatal("sweep: scenario '%s' has no run callback",
+                  s.name.c_str());
+        if (s.run && s.clusterRun)
+            fatal("sweep: scenario '%s' has both run and clusterRun",
                   s.name.c_str());
     }
 

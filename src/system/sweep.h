@@ -26,6 +26,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <optional>
 #include <string>
 #include <utility>
@@ -37,11 +38,23 @@
 
 namespace svtsim {
 
+class Cluster;
 class ScenarioResult;
+class ClusterContext;
+class ScopedTrace;
+struct SweepOptions;
 
 /** Per-scenario measurement callback; records metrics on the result. */
 using ScenarioFn =
     std::function<void(NestedSystem &sys, ScenarioResult &result)>;
+
+/**
+ * Multi-machine scenario callback: builds a Cluster (machines, cross
+ * links, drivers), brackets it with ctx.prepare()/ctx.finish(), and
+ * runs it with ctx.jobs() workers. See ClusterContext.
+ */
+using ClusterScenarioFn =
+    std::function<void(ClusterContext &ctx, ScenarioResult &result)>;
 
 /**
  * One point of the design space: the system to assemble and the
@@ -60,6 +73,66 @@ struct Scenario
     /** Topology override; defaults to paperTopology(mode). */
     std::optional<MachineTopology> topology;
     ScenarioFn run;
+    /** Cluster (multi-machine) scenario body; a scenario has exactly
+     *  one of run / clusterRun. The engine passes the sweep seed and
+     *  --cluster-jobs through the ClusterContext; mode/config here
+     *  describe the scenario for JSON, the callback builds the
+     *  machines itself. */
+    ClusterScenarioFn clusterRun;
+};
+
+/**
+ * Execution context handed to a ClusterScenarioFn.
+ *
+ * Usage inside the callback:
+ *
+ *     Cluster cluster(ctx.seed());
+ *     ... addMachine / connect / setDriver ...
+ *     ctx.prepare(cluster);     // faults + per-machine traces
+ *     cluster.run(ctx.jobs());
+ *     ... record workload metrics ...
+ *     ctx.finish(cluster, result);  // fingerprints + PMU + traces
+ *
+ * finish() records one `final_ticks_m<i>` metric per machine (the
+ * cluster determinism fingerprint, compared byte-for-byte across
+ * --cluster-jobs counts) and captures machine 0's PMU snapshot and
+ * the per-machine trace conservation reports into the result.
+ */
+class ClusterContext
+{
+  public:
+    ~ClusterContext();
+
+    /** Base seed for the Cluster (already includes the scenario's
+     *  seed offset). */
+    std::uint64_t seed() const { return seed_; }
+    /** --cluster-jobs: worker count for Cluster::run (1 = the
+     *  sequential oracle). */
+    int jobs() const { return jobs_; }
+
+    /** Call after building the cluster, before run(): installs the
+     *  sweep-level fault plan on every machine and attaches one trace
+     *  session per machine (labeled `<scenario>-m<i>`). */
+    void prepare(Cluster &cluster);
+
+    /** Call after run(): records per-machine fingerprint metrics on
+     *  @p result and captures PMU snapshot + trace reports. */
+    void finish(Cluster &cluster, ScenarioResult &result);
+
+  private:
+    friend class SweepRunner;
+    ClusterContext(std::uint64_t seed, int jobs,
+                   const SweepOptions &options, std::string name);
+
+    std::uint64_t seed_;
+    int jobs_;
+    const SweepOptions &options_;
+    std::string scenarioName_;
+    std::vector<std::unique_ptr<ScopedTrace>> traces_;
+    Ticks finalTicks_ = 0;
+    MetricsSnapshot snapshot_;
+    std::string traceReport_;
+    bool finished_ = false;
 };
 
 /** Outcome of one scenario, in a caller-owned slot. */
@@ -156,6 +229,11 @@ struct SweepOptions
      *  seeded from the scenario's seed, so injections stay part of the
      *  deterministic fingerprint regardless of jobs. */
     FaultPlan faults{};
+    /** Workers for intra-scenario (cluster) parallelism, passed to
+     *  cluster scenarios via ClusterContext::jobs(). 1 is the
+     *  sequential oracle; any value produces byte-identical results.
+     *  Multiplies with `jobs` when both exceed 1. */
+    int clusterJobs = 1;
 };
 
 /**

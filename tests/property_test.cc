@@ -15,6 +15,7 @@
 
 #include "io/ramdisk.h"
 #include "io/virtio_blk.h"
+#include "io/net_fabric.h"
 #include "io/virtio_net.h"
 #include "sim/log.h"
 #include "system/nested_system.h"
