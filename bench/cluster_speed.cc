@@ -26,13 +26,13 @@
 #include <unordered_map>
 #include <vector>
 
-#include "io/cross_link.h"
+#include "arch/cost_model.h"
 #include "io/virtio_net.h"
 #include "sim/random.h"
 #include "sim/worker_pool.h"
 #include "stats/summary.h"
 #include "system/bench_harness.h"
-#include "system/cluster.h"
+#include "system/cluster_spec.h"
 #include "workloads/remote_peer.h"
 
 using namespace svtsim;
@@ -77,18 +77,16 @@ struct Flow
 RunOutcome
 runOnce(const RunConfig &cfg, int jobs)
 {
-    Cluster cluster(cfg.seed);
-    const int client = cluster.addMachine("client", VirtMode::Native);
-    std::vector<int> servers;
-    for (int i = 0; i < cfg.machines; ++i)
-        servers.push_back(cluster.addMachine(
-            "server" + std::to_string(i), VirtMode::Nested));
-
-    Machine &cm = cluster.machine(client);
-    std::vector<CrossLink *> links;
-    for (int s : servers)
-        links.push_back(&cluster.connect(client, s, cfg.latency,
-                                         cm.costs().linkBitsPerSec));
+    ClusterSpec spec;
+    spec.machine("client", VirtMode::Native);
+    std::vector<std::string> servers;
+    for (int i = 0; i < cfg.machines; ++i) {
+        servers.push_back("server" + std::to_string(i));
+        spec.machine(servers.back(), VirtMode::Nested);
+        spec.link("client", servers.back(), cfg.latency,
+                  CostModel{}.linkBitsPerSec);
+    }
+    ClusterBuild b = spec.realize(cfg.seed);
 
     // Server side: one nested virtio-net stack + serving loop each.
     std::vector<std::unique_ptr<VirtioNetStack>> nets;
@@ -96,24 +94,27 @@ runOnce(const RunConfig &cfg, int jobs)
     std::vector<std::uint64_t> served(servers.size(), 0);
     for (std::size_t i = 0; i < servers.size(); ++i) {
         nets.push_back(std::make_unique<VirtioNetStack>(
-            cluster.system(servers[i]).stack(), links[i]->port(1)));
+            b.stack(servers[i]), b.port(servers[i], "client")));
         mcs.push_back(std::make_unique<MemcachedServer>(
-            cluster.system(servers[i]).stack(), *nets.back(),
+            b.stack(servers[i]), *nets.back(),
             42 + static_cast<std::uint64_t>(i)));
         auto *mc = mcs.back().get();
         auto *out = &served[i];
-        cluster.setDriver(servers[i], [mc, out, &cfg](NestedSystem &) {
+        b.driver(servers[i], [mc, out, &cfg](NestedSystem &) {
             *out = mc->serveUntil(cfg.duration);
         });
     }
 
     // Client side: N independent open-loop ETC flows, one per link,
     // all event-driven on the single bare-metal client machine.
+    std::vector<NetPort *> ports;
+    for (const std::string &s : servers)
+        ports.push_back(&b.port("client", s));
     std::vector<Flow> flows;
     for (std::size_t i = 0; i < servers.size(); ++i)
         flows.emplace_back(cfg.seed + 1000 + i);
 
-    cluster.setDriver(client, [&](NestedSystem &sys) {
+    b.driver("client", [&](NestedSystem &sys) {
         Machine &m = sys.machine();
         const Ticks t0 = m.now();
         const Ticks end = t0 + cfg.duration;
@@ -121,7 +122,7 @@ runOnce(const RunConfig &cfg, int jobs)
         std::vector<std::function<void()>> arms(flows.size());
         for (std::size_t i = 0; i < flows.size(); ++i) {
             Flow &flow = flows[i];
-            NetPort &port = links[i]->port(0);
+            NetPort &port = *ports[i];
             port.setReceiveHandler([&flow, &m](NetPacket pkt) {
                 auto it = flow.sent.find(pkt.id);
                 if (it != flow.sent.end()) {
@@ -158,17 +159,18 @@ runOnce(const RunConfig &cfg, int jobs)
         const Ticks grace = end + msec(5);
         while (m.now() < grace)
             m.idleUntil(grace);
-        for (auto *link : links)
-            link->port(0).setReceiveHandler([](NetPacket) {});
+        for (auto *port : ports)
+            port->setReceiveHandler([](NetPacket) {});
     });
 
     const auto t0 = std::chrono::steady_clock::now();
-    ClusterStats stats = cluster.run(jobs);
+    ClusterStats stats = b.run(jobs);
     RunOutcome out;
     out.wallSec = std::chrono::duration<double>(
                       std::chrono::steady_clock::now() - t0)
                       .count();
 
+    Cluster &cluster = b.cluster();
     std::ostringstream fp;
     fp << "epochs=" << stats.epochs << " steps=" << stats.steps
        << " merged=" << stats.merged;

@@ -19,13 +19,13 @@
 #include <cstdio>
 #include <string>
 
-#include "io/cross_link.h"
+#include "arch/cost_model.h"
 #include "io/ramdisk.h"
 #include "io/virtio_blk.h"
 #include "io/virtio_net.h"
 #include "stats/table.h"
 #include "system/bench_harness.h"
-#include "system/cluster.h"
+#include "system/cluster_spec.h"
 #include "workloads/diskbench.h"
 #include "workloads/remote_peer.h"
 
@@ -43,20 +43,20 @@ void
 runNet(ClusterContext &ctx, ScenarioResult &r, VirtMode mode,
        double rate_mult, bool full)
 {
-    Cluster cluster(ctx.seed());
-    int c = cluster.addMachine("client", mode);
-    int p = cluster.addMachine("peer", VirtMode::Native);
-    Machine &cm = cluster.machine(c);
-    CrossLink &link =
-        cluster.connect(c, p, cm.costs().wireLatency,
-                        rate_mult * cm.costs().linkBitsPerSec);
+    ClusterBuild b =
+        ClusterSpec()
+            .machine("client", mode)
+            .machine("peer", VirtMode::Native)
+            .link("client", "peer", CostModel{}.wireLatency,
+                  rate_mult * CostModel{}.linkBitsPerSec)
+            .realize(ctx);
 
-    VirtioNetStack net(cluster.system(c).stack(), link.port(0));
-    NetserverPeer peer(cluster.machine(p), link.port(1));
-    ClusterNetperf netperf(cluster.system(c).stack(), net);
+    VirtioNetStack net(b.stack("client"), b.port("client", "peer"));
+    NetserverPeer peer(b.machine("peer"), b.port("peer", "client"));
+    ClusterNetperf netperf(b.stack("client"), net);
 
     double lat_us = 0, bw_mbps = 0;
-    cluster.setDriver(c, [&](NestedSystem &) {
+    b.driver("client", [&](NestedSystem &) {
         if (full)
             lat_us = netperf.runRr(1, 1, 60).meanUsec;
         bw_mbps = netperf
@@ -64,15 +64,14 @@ runNet(ClusterContext &ctx, ScenarioResult &r, VirtMode mode,
                       .mbps;
     });
 
-    ctx.prepare(cluster);
-    cluster.run(ctx.jobs());
+    b.run(ctx);
     if (full) {
         r.record("net_lat_us", lat_us);
         r.record("net_bw_mbps", bw_mbps);
     } else {
         r.record("cpu_bw_mbps", bw_mbps);
     }
-    ctx.finish(cluster, r);
+    ctx.finish(b.cluster(), r);
 }
 
 void

@@ -13,11 +13,10 @@
 #include <string>
 #include <vector>
 
-#include "io/cross_link.h"
 #include "io/virtio_net.h"
 #include "stats/table.h"
 #include "system/bench_harness.h"
-#include "system/cluster.h"
+#include "system/cluster_spec.h"
 #include "workloads/remote_peer.h"
 
 using namespace svtsim;
@@ -67,37 +66,33 @@ main(int argc, char **argv)
             bench.addCluster(
                 pointName(mode, qps), mode,
                 [mode, qps](ClusterContext &ctx, ScenarioResult &r) {
-                    Cluster cluster(ctx.seed());
-                    int s = cluster.addMachine("server", mode);
-                    int c =
-                        cluster.addMachine("client", VirtMode::Native);
-                    Machine &sm = cluster.machine(s);
-                    CrossLink &link = cluster.connect(
-                        s, c, sm.costs().wireLatency,
-                        sm.costs().linkBitsPerSec);
+                    ClusterBuild b =
+                        ClusterSpec()
+                            .machine("server", mode)
+                            .machine("client", VirtMode::Native)
+                            .link("server", "client")
+                            .realize(ctx);
 
-                    VirtioNetStack net(cluster.system(s).stack(),
-                                       link.port(0));
-                    MemcachedServer server(cluster.system(s).stack(),
-                                           net);
-                    MutilateClient client(cluster.machine(c),
-                                          link.port(1));
+                    VirtioNetStack net(b.stack("server"),
+                                       b.port("server", "client"));
+                    MemcachedServer server(b.stack("server"), net);
+                    MutilateClient client(b.machine("client"),
+                                          b.port("client", "server"));
 
                     const Ticks duration = msec(300);
                     MemcachedPoint pt;
-                    cluster.setDriver(s, [&](NestedSystem &) {
+                    b.driver("server", [&](NestedSystem &) {
                         server.serveUntil(duration);
                     });
-                    cluster.setDriver(c, [&](NestedSystem &) {
+                    b.driver("client", [&](NestedSystem &) {
                         pt = client.runLoad(qps, duration);
                     });
 
-                    ctx.prepare(cluster);
-                    cluster.run(ctx.jobs());
+                    b.run(ctx);
                     r.record("avg_usec", pt.avgUsec);
                     r.record("p99_usec", pt.p99Usec);
                     r.record("achieved_qps", pt.achievedQps);
-                    ctx.finish(cluster, r);
+                    ctx.finish(b.cluster(), r);
                 });
         }
     }

@@ -1,12 +1,19 @@
 #!/usr/bin/env python3
-"""Merge a cluster_speed run into a BENCH_SPEED.json document.
+"""Merge cluster_speed / fleet_scale runs into a BENCH_SPEED.json doc.
 
 The committed BENCH_SPEED.json holds the sim_speed workload records;
-cluster_speed writes its own JSON. This script grafts the cluster run
-under a top-level "cluster" key so one artifact carries both, without
-ever regenerating (and thus churning) the sim_speed section.
+cluster_speed and fleet_scale write their own JSON. This script grafts
+a run under a top-level key — "cluster" for a cluster_speed result,
+"fleet" for a fleet_scale sweep — so one artifact carries all of them,
+without ever regenerating (and thus churning) the sim_speed section.
 
-Usage: merge_bench_speed.py BENCH_SPEED.json CLUSTER.json [OUT.json]
+The fleet record keeps only the per-policy fleet rollup metrics (p99,
+QPS under SLA, tenants met, interference): they are deterministic for
+a given seed, so the committed copy doubles as a golden reference for
+the policy ordering (svt-pair beats isolate), while wall-clock numbers
+stay out of it.
+
+Usage: merge_bench_speed.py BENCH_SPEED.json RUN.json [OUT.json]
 
 OUT.json defaults to rewriting BENCH_SPEED.json in place.
 """
@@ -14,30 +21,53 @@ OUT.json defaults to rewriting BENCH_SPEED.json in place.
 import json
 import sys
 
+FLEET_KEYS = (
+    "fleet_p99_usec",
+    "fleet_qps_under_sla",
+    "fleet_tenants_met",
+    "fleet_sla_fraction",
+    "fleet_mean_interference",
+)
+
+
+def fleet_record(run):
+    """Reduce a fleet_scale sweep JSON to its per-policy rollup."""
+    policies = {}
+    for scenario in run.get("scenarios", []):
+        metrics = scenario.get("metrics", {})
+        policies[scenario["name"]] = {
+            k: metrics[k] for k in FLEET_KEYS if k in metrics
+        }
+    return {"seed": run.get("seed"), "policies": policies}
+
 
 def main(argv):
     if len(argv) not in (3, 4):
         print(__doc__, file=sys.stderr)
         return 2
-    base_path, cluster_path = argv[1], argv[2]
+    base_path, run_path = argv[1], argv[2]
     out_path = argv[3] if len(argv) == 4 else base_path
 
     with open(base_path) as f:
         doc = json.load(f)
-    with open(cluster_path) as f:
-        cluster = json.load(f)
+    with open(run_path) as f:
+        run = json.load(f)
 
-    if cluster.get("bench") != "cluster_speed":
-        print(f"{cluster_path}: not a cluster_speed result",
+    bench = run.get("bench")
+    if bench == "cluster_speed":
+        run.pop("bench", None)
+        doc["cluster"] = run
+    elif bench == "fleet_scale":
+        doc["fleet"] = fleet_record(run)
+    else:
+        print(f"{run_path}: not a cluster_speed or fleet_scale result",
               file=sys.stderr)
         return 1
-    cluster.pop("bench", None)
-    doc["cluster"] = cluster
 
     with open(out_path, "w") as f:
         json.dump(doc, f, indent=2)
         f.write("\n")
-    print(f"merged {cluster_path} into {out_path}")
+    print(f"merged {run_path} ({bench}) into {out_path}")
     return 0
 
 

@@ -1,0 +1,39 @@
+#include "stats/fleet_rollup.h"
+
+namespace svtsim {
+
+double
+exitOverheadFraction(const MetricsSnapshot &snap, Ticks elapsed)
+{
+    if (elapsed <= 0)
+        return 0.0;
+    Ticks exitTicks = 0;
+    for (const auto &[name, ticks] : snap.scopes)
+        if (name.rfind("exit.", 0) == 0)
+            exitTicks += ticks;
+    return static_cast<double>(exitTicks) /
+           static_cast<double>(elapsed);
+}
+
+void
+finalizeFleetOutcome(FleetOutcome &out)
+{
+    out.qpsUnderSla = 0;
+    out.offeredQps = 0;
+    out.tenantsMet = 0;
+    out.meanInterference = 0;
+    for (const TenantOutcome &t : out.tenants) {
+        if (t.sloMet) {
+            ++out.tenantsMet;
+            out.qpsUnderSla += t.achievedQps;
+        }
+        out.offeredQps += t.offeredQps;
+        out.meanInterference += t.interference;
+    }
+    const double n = static_cast<double>(out.tenants.size());
+    out.slaFraction = out.tenants.empty() ? 0.0 : out.tenantsMet / n;
+    out.meanInterference =
+        out.tenants.empty() ? 0.0 : out.meanInterference / n;
+}
+
+} // namespace svtsim

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Fleet-level result aggregation.
+ *
+ * The fleet scheduler (system/fleet) runs one machine per placement
+ * slot; what the operator cares about is per-*tenant* and per-*fleet*
+ * numbers: did each tenant meet its SLO, how much throughput does the
+ * fleet sustain within SLA, and how much of each tenant's time went
+ * to virtualization overhead (the interference the placement policy
+ * is supposed to control). This module holds the value types and the
+ * arithmetic; it knows nothing about machines or placement, so the
+ * rollup is trivially a pure function of its inputs and stays
+ * byte-identical across worker counts.
+ */
+
+#ifndef SVTSIM_STATS_FLEET_ROLLUP_H
+#define SVTSIM_STATS_FLEET_ROLLUP_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/ticks.h"
+#include "stats/metrics.h"
+
+namespace svtsim {
+
+/** One tenant's rolled-up result across all of its placement slots. */
+struct TenantOutcome
+{
+    std::string name;
+    /** Workload class label ("memcached" | "tpcc" | "video"). */
+    std::string workload;
+    int vcpus = 0;
+
+    /** Primary SLO metric: met iff sloValue <= sloTarget. */
+    double sloValue = 0;
+    double sloTarget = 0;
+    bool sloMet = false;
+
+    // Workload-specific detail (zero when not applicable).
+    double offeredQps = 0;
+    double achievedQps = 0;
+    double meanUsec = 0;
+    double p99Usec = 0;
+    double tpm = 0;
+    double meanTxnMsec = 0;
+    int frames = 0;
+    int droppedFrames = 0;
+    double dropFraction = 0;
+    std::uint64_t completed = 0;
+
+    /**
+     * Interference: the fraction of the tenant's machine time spent
+     * in virtualization-exit handling (sum of the `exit.*` PMU
+     * attribution scopes over elapsed time), averaged across the
+     * tenant's slots. The knob the placement policy turns.
+     */
+    double interference = 0;
+};
+
+/** Whole-fleet rollup. */
+struct FleetOutcome
+{
+    std::vector<TenantOutcome> tenants;
+
+    /** p99 over the union of all request-serving tenants' latency
+     *  samples (0 with no request tenants); set by the caller who
+     *  owns the sample sets. */
+    double fleetP99Usec = 0;
+
+    // Computed by finalizeFleetOutcome:
+    /** Sum of achieved qps over request tenants that met their p99
+     *  SLO — the paper's "throughput within SLA" at fleet scale. */
+    double qpsUnderSla = 0;
+    /** Sum of offered qps over request tenants. */
+    double offeredQps = 0;
+    int tenantsMet = 0;
+    /** tenantsMet / tenants.size() (0 with no tenants). */
+    double slaFraction = 0;
+    /** Mean interference across tenants. */
+    double meanInterference = 0;
+};
+
+/**
+ * Fraction of @p elapsed machine time accrued to `exit.*` attribution
+ * scopes in @p snap — the virtualization-overhead share of one slot.
+ * Returns 0 when @p elapsed is 0.
+ */
+double exitOverheadFraction(const MetricsSnapshot &snap, Ticks elapsed);
+
+/**
+ * Fill the aggregate fields of @p out from its per-tenant entries
+ * (sloMet flags and per-tenant numbers must already be set).
+ */
+void finalizeFleetOutcome(FleetOutcome &out);
+
+} // namespace svtsim
+
+#endif // SVTSIM_STATS_FLEET_ROLLUP_H

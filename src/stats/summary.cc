@@ -78,6 +78,16 @@ Percentiles::add(double x)
 }
 
 void
+Percentiles::merge(const Percentiles &other)
+{
+    if (other.samples_.empty())
+        return;
+    samples_.insert(samples_.end(), other.samples_.begin(),
+                    other.samples_.end());
+    sorted_ = false;
+}
+
+void
 Percentiles::reset()
 {
     samples_.clear();

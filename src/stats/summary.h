@@ -61,6 +61,12 @@ class Percentiles
 {
   public:
     void add(double x);
+
+    /** Merge another sample set into this one (fleet rollups: a
+     *  tenant's latency distribution is the union of its per-vCPU
+     *  flow distributions). */
+    void merge(const Percentiles &other);
+
     void reset();
 
     std::size_t count() const { return samples_.size(); }

@@ -11,17 +11,39 @@ namespace svtsim {
 /*
  * Lookahead safety argument (see also the header and DESIGN.md):
  *
- * Let floor_i be machine i's floor at a barrier and
- * H' = min_i(floor_i) + L with L = min link latency. Machine i's
- * first action in the next window — an event firing, or its parked
- * driver resuming — happens at local time t >= floor_i >= H' - L, and
- * every later action in the window is later still. A packet sent at
- * time t arrives at t + serialization + latency >= t + L >= H'. So
- * every packet staged during the window lands at or after H', i.e.
- * never in simulated time any machine (which executes strictly below
- * H') has already passed: merging at the barrier loses nothing and
- * reorders nothing. Progress: H' > H because every floor is >= the
- * previous horizon's base and L > 0.
+ * Let floor_j be machine j's floor at a barrier and C[j][i] the
+ * at-least-one-hop shortest-path latency from j to i over the links
+ * (Floyd-Warshall with the diagonal seeded unreachable, so C[i][i]
+ * converges to the shortest *cycle* through i; links are
+ * bidirectional so C is symmetric; maxTick = no path). Machine i's
+ * horizon is H_i = min over ALL j of (floor_j + C[j][i]) — the
+ * j = i term is load-bearing: i's own state can cause a future
+ * arrival back at itself (send a request at floor_i, the neighbor
+ * responds), and that echo lands no earlier than floor_i + C[i][i].
+ * Any packet that can reach i originates from some machine j's
+ * current state, i.e. from an action at local time t >= floor_j (j's
+ * first action in the window is at its floor, every later action —
+ * including reactions to packets merged at later barriers — is later
+ * still), and arrives after >= 1 hops, so at
+ * t + serialization + path latency >= floor_j + C[j][i] >= H_i.
+ *
+ * Horizons granted earlier stay safe across later epochs because H_i
+ * is monotone: a stepped machine's floor rises to >= its horizon,
+ * an unstepped machine's floor can only drop to a merged arrival
+ * time >= H_j(E) = min_k(floor_k(E) + C[k][j]), and C obeys the
+ * triangle inequality (concatenating >=1-hop paths k->j and j->i
+ * yields a >=1-hop path k->i), so
+ * H_i(E+1) >= min_k(floor_k(E) + C[k][i]) = H_i(E). Hence every
+ * staged arrival is >= the destination's largest granted horizon
+ * (asserted per delivery in mergeStaged): merging at the barrier
+ * loses nothing and reorders nothing. A machine with no inbound path
+ * can never receive anything and runs to completion in one window
+ * (H = maxTick); having no links it cannot send either.
+ *
+ * Progress: the machine with the global min floor gets
+ * H >= minFloor + (min latency or cycle) > its floor, so it is
+ * always steppable, and stepping it raises its floor to >= H — the
+ * global min floor strictly increases every epoch.
  *
  * Byte-identity across worker counts: within a window machines only
  * touch their own state plus the src side of their links, so each
@@ -73,6 +95,23 @@ Cluster::addMachine(const std::string &name, VirtMode mode,
     return id;
 }
 
+int
+Cluster::addMachine(const std::string &name,
+                    const MachineTopology &topo, StackConfig config,
+                    std::optional<std::uint64_t> seedOffset)
+{
+    simAssert(!ran_, "Cluster::addMachine after run()");
+    const int id = size();
+    const std::uint64_t offset =
+        seedOffset ? *seedOffset : static_cast<std::uint64_t>(id);
+    auto node = std::make_unique<Node>();
+    node->name = name;
+    node->system =
+        std::make_unique<NestedSystem>(topo, config, baseSeed_ + offset);
+    nodes_.push_back(std::move(node));
+    return id;
+}
+
 NestedSystem &
 Cluster::system(int id)
 {
@@ -100,6 +139,7 @@ Cluster::connect(int a, int b, Ticks latency, double bits_per_sec)
     simAssert(a != b, "Cluster::connect machine to itself");
     links_.push_back(std::make_unique<CrossLink>(
         machine(a), a, machine(b), b, latency, bits_per_sec));
+    linkEnds_.push_back({a, b, latency});
     lookahead_ = std::min(lookahead_, latency);
     return *links_.back();
 }
@@ -178,7 +218,7 @@ Cluster::stepMachine(Node &n, Ticks horizon)
 }
 
 std::uint64_t
-Cluster::mergeStaged(Ticks grantedHorizon)
+Cluster::mergeStaged()
 {
     scratch_.clear();
     for (auto &l : links_)
@@ -188,14 +228,48 @@ Cluster::mergeStaged(Ticks grantedHorizon)
     std::stable_sort(scratch_.begin(), scratch_.end(),
                      CrossLink::canonicalLess);
     for (const CrossLink::Delivery &d : scratch_) {
-        if (d.arrival < grantedHorizon)
-            panic("Cluster: staged arrival %lld below the epoch "
-                  "horizon %lld (lookahead violated)",
-                  static_cast<long long>(d.arrival),
-                  static_cast<long long>(grantedHorizon));
+        const Ticks granted =
+            nodes_[static_cast<std::size_t>(d.dstId)]->granted;
+        if (d.arrival < granted)
+            panic("Cluster: staged arrival %lld below machine %d's "
+                  "granted horizon %lld (lookahead violated)",
+                  static_cast<long long>(d.arrival), d.dstId,
+                  static_cast<long long>(granted));
         d.link->deliver(d);
     }
     return scratch_.size();
+}
+
+std::vector<Ticks>
+Cluster::pairLookahead() const
+{
+    const int n = size();
+    std::vector<Ticks> dist(
+        static_cast<std::size_t>(n) * static_cast<std::size_t>(n),
+        maxTick);
+    auto at = [&dist, n](int i, int j) -> Ticks & {
+        return dist[static_cast<std::size_t>(i) * n + j];
+    };
+    for (const LinkEnds &l : linkEnds_) {
+        at(l.a, l.b) = std::min(at(l.a, l.b), l.latency);
+        at(l.b, l.a) = std::min(at(l.b, l.a), l.latency);
+    }
+    for (int k = 0; k < n; ++k)
+        for (int i = 0; i < n; ++i) {
+            const Ticks dik = at(i, k);
+            if (dik >= maxTick)
+                continue;
+            for (int j = 0; j < n; ++j) {
+                const Ticks dkj = at(k, j);
+                if (dkj >= maxTick)
+                    continue;
+                const Ticks via =
+                    dik >= maxTick - dkj ? maxTick : dik + dkj;
+                if (via < at(i, j))
+                    at(i, j) = via;
+            }
+        }
+    return dist;
 }
 
 ClusterStats
@@ -245,15 +319,14 @@ Cluster::run(int jobs)
 
         // Reusable per-machine epoch-step slots (WorkerPool bulk
         // path): built once, borrowed by pointer every window.
-        Ticks epochHorizon = 0;
         for (auto &np : nodes_) {
             Node *n = np.get();
             // Pool tasks must not throw: a follower drain that panics
             // (an event handler bug) is recorded and surfaced after
             // the barrier instead of escaping into the pool.
-            n->step = [this, n, &epochHorizon] {
+            n->step = [this, n] {
                 try {
-                    stepMachine(*n, epochHorizon);
+                    stepMachine(*n, n->horizon);
                 } catch (const std::exception &e) {
                     std::lock_guard<std::mutex> lk(errorMutex_);
                     if (driverError_.empty())
@@ -264,16 +337,23 @@ Cluster::run(int jobs)
         std::vector<std::function<void()> *> active;
         active.reserve(nodes_.size());
 
-        Ticks horizon = 0;
+        // Per-pair lookahead matrix; fixed once links are final.
+        const std::vector<Ticks> dist = pairLookahead();
+        const int n = size();
+        std::vector<Ticks> floors(static_cast<std::size_t>(n));
+
         for (;;) {
-            stats.merged += mergeStaged(horizon);
+            stats.merged += mergeStaged();
 
             bool driverAlive = false;
             Ticks minFloor = maxTick;
-            for (auto &np : nodes_) {
-                if (np->gate && !np->gate->finished)
+            for (int i = 0; i < n; ++i) {
+                Node &node = *nodes_[static_cast<std::size_t>(i)];
+                if (node.gate && !node.gate->finished)
                     driverAlive = true;
-                minFloor = std::min(minFloor, floorOf(*np));
+                floors[static_cast<std::size_t>(i)] = floorOf(node);
+                minFloor = std::min(
+                    minFloor, floors[static_cast<std::size_t>(i)]);
             }
             // Termination: every driver returned (driver mode), or
             // every queue drained (pure event-follower mode).
@@ -283,23 +363,39 @@ Cluster::run(int jobs)
                 panic("Cluster: deadlock — drivers outstanding but no "
                       "machine can ever advance");
 
-            const Ticks next = lookahead_ >= maxTick - minFloor
-                                   ? maxTick
-                                   : minFloor + lookahead_;
-            simAssert(next > horizon,
-                      "Cluster: epoch horizon failed to advance");
-            epochHorizon = next;
-
             active.clear();
-            for (auto &np : nodes_) {
-                Node &n = *np;
+            for (int i = 0; i < n; ++i) {
+                Node &node = *nodes_[static_cast<std::size_t>(i)];
+                // H_i = min over ALL j of floor_j + C[j][i], where
+                // C's diagonal is the shortest cycle through i: a
+                // machine's own state can cause a future arrival back
+                // at itself via a round trip (request out, response
+                // in), so the self-term is load-bearing — without it
+                // a request/response neighbor gets over-granted.
+                // maxTick when nothing can ever reach i.
+                Ticks h = maxTick;
+                for (int j = 0; j < n; ++j) {
+                    const Ticks d =
+                        dist[static_cast<std::size_t>(j) * n + i];
+                    const Ticks fj = floors[static_cast<std::size_t>(j)];
+                    if (d >= maxTick || fj >= maxTick - d)
+                        continue;
+                    h = std::min(h, fj + d);
+                }
                 bool needs =
-                    n.system->machine().events().nextEventTime() < next;
-                if (n.gate && !n.gate->finished)
-                    needs = needs || n.gate->parkedTarget < next;
-                if (needs)
-                    active.push_back(&n.step);
+                    node.system->machine().events().nextEventTime() < h;
+                if (node.gate && !node.gate->finished)
+                    needs = needs || node.gate->parkedTarget < h;
+                if (!needs)
+                    continue;
+                node.horizon = h;
+                node.granted = std::max(node.granted, h);
+                active.push_back(&node.step);
             }
+            // The global-min-floor machine always gets a horizon
+            // above its floor, so someone can step.
+            simAssert(!active.empty(),
+                      "Cluster: epoch horizon failed to advance");
             ++stats.epochs;
             stats.steps += active.size();
             if (pool)
@@ -312,7 +408,6 @@ Cluster::run(int jobs)
                 if (!driverError_.empty())
                     throw SimError(driverError_);
             }
-            horizon = next;
         }
     } catch (...) {
         // Release every parked driver (maxTick un-gates its queue) so

@@ -11,15 +11,26 @@
  *      simulated time at which it can next act (min of its next event
  *      time and, for a parked synchronous driver, the advance target
  *      it is blocked on; 0 for a driver that has not started).
- *   2. The epoch horizon is H' = min(floors) + min(link latency) —
- *      the conservative lookahead: any packet sent at local time
- *      t >= floor arrives at t + serialization + latency >= H', so no
- *      machine advancing below H' can miss it.
- *   3. Every machine with work below H' advances to it concurrently
- *      on a WorkerPool worker (or inline, in machine-id order, when
- *      jobs <= 1 — the sequential oracle). Machines never touch each
- *      other's state inside a window; outbound packets are staged in
- *      the links.
+ *   2. Each machine gets a *per-pair* conservative horizon
+ *      H_i = min over all j of (floor_j + C[j][i]), where C is the
+ *      at-least-one-hop all-pairs shortest-path matrix over link
+ *      latencies — C's diagonal is the shortest *cycle* through i,
+ *      covering the echo of i's own sends (request out, response
+ *      back); maxTick when no path into i exists, so an unreachable
+ *      machine runs to completion in one window. Any packet that can
+ *      reach i was caused by some machine j's state at the barrier,
+ *      i.e. by an action at local time t >= floor_j, and arrives at
+ *      t + serialization + path latency >= H_i, so i advancing below
+ *      H_i cannot miss it. With homogeneous links this is within one
+ *      hop of the classic min(floors) + min(latency); with
+ *      heterogeneous links machines behind slow wires get
+ *      proportionally larger windows instead of everyone collapsing
+ *      to the slowest wire.
+ *   3. Every machine with work below its H_i advances to it
+ *      concurrently on a WorkerPool worker (or inline, in machine-id
+ *      order, when jobs <= 1 — the sequential oracle). Machines never
+ *      touch each other's state inside a window; outbound packets are
+ *      staged in the links.
  *   4. At the barrier the staged packets are merged into destination
  *      queues in canonical (deliveryTick, srcMachineId, seq) order.
  *
@@ -96,15 +107,24 @@ class Cluster
                    StackConfig config = {},
                    std::optional<std::uint64_t> seedOffset = {});
 
+    /**
+     * Add a machine with an explicit topology (the fleet scheduler's
+     * per-slot machines model a single core, not the whole Table 4
+     * box); the mode comes from @p config.mode.
+     */
+    int addMachine(const std::string &name,
+                   const MachineTopology &topo, StackConfig config,
+                   std::optional<std::uint64_t> seedOffset = {});
+
     int size() const { return static_cast<int>(nodes_.size()); }
     NestedSystem &system(int id);
     Machine &machine(int id);
     const std::string &machineName(int id) const;
 
     /**
-     * Connect two machines with a CrossLink. The smallest link
-     * latency in the cluster is the conservative lookahead. Must be
-     * called before run().
+     * Connect two machines with a CrossLink. Link latencies feed the
+     * per-pair lookahead matrix computed at run(). Must be called
+     * before run().
      */
     CrossLink &connect(int a, int b, Ticks latency,
                        double bits_per_sec);
@@ -133,7 +153,9 @@ class Cluster
      */
     ClusterStats run(int jobs);
 
-    /** min link latency (the lookahead), maxTick with no links. */
+    /** min link latency (the worst-case lookahead bound), maxTick
+     *  with no links. Per-pair horizons are at least this far past
+     *  the global floor. */
     Ticks lookahead() const { return lookahead_; }
 
   private:
@@ -166,6 +188,12 @@ class Cluster
         std::thread thread;
         /** Reusable epoch-step slot handed to WorkerPool::runTasks. */
         std::function<void()> step;
+        /** This machine's horizon for the current epoch (written by
+         *  the coordinator before the step runs, read by step). */
+        Ticks horizon = 0;
+        /** Largest horizon ever granted: staged arrivals below this
+         *  would land in the machine's executed past. */
+        Ticks granted = 0;
     };
 
     /** Earliest time machine @p n can next act (coordinator side;
@@ -175,12 +203,26 @@ class Cluster
     void stepMachine(Node &n, Ticks horizon);
     /** Block until @p n's driver is parked or finished. */
     static void waitQuiescent(DriverGate &gate);
-    /** Merge staged link packets canonically; returns count. */
-    std::uint64_t mergeStaged(Ticks grantedHorizon);
+    /** Merge staged link packets canonically; returns count. Checks
+     *  each arrival against the destination's granted horizon. */
+    std::uint64_t mergeStaged();
+    /** At-least-one-hop all-pairs shortest-path latency matrix over
+     *  the links (Floyd-Warshall with the diagonal seeded
+     *  unreachable, so [i][i] is the shortest cycle through i;
+     *  maxTick = unreachable). */
+    std::vector<Ticks> pairLookahead() const;
 
     std::uint64_t baseSeed_;
     std::vector<std::unique_ptr<Node>> nodes_;
     std::vector<std::unique_ptr<CrossLink>> links_;
+    /** Link endpoints + latency, for the lookahead matrix. */
+    struct LinkEnds
+    {
+        int a;
+        int b;
+        Ticks latency;
+    };
+    std::vector<LinkEnds> linkEnds_;
     Ticks lookahead_ = maxTick;
     bool ran_ = false;
     /** Barrier-merge scratch (reused across epochs). */

@@ -1,0 +1,69 @@
+#include "workloads/tenant_drivers.h"
+
+#include <algorithm>
+
+namespace svtsim {
+
+OpenLoopEtcLoadgen::OpenLoopEtcLoadgen(Machine &machine,
+                                       std::uint64_t seed)
+    : machine_(machine), seed_(seed)
+{}
+
+int
+OpenLoopEtcLoadgen::addFlow(NetPort &port, double qps)
+{
+    const std::uint64_t seed = seed_ + flows_.size();
+    flows_.push_back(std::make_unique<Flow>(port, qps, seed));
+    return static_cast<int>(flows_.size()) - 1;
+}
+
+void
+OpenLoopEtcLoadgen::arm(Flow &flow, Ticks end)
+{
+    Machine &m = machine_;
+    const Ticks gap = std::max<Ticks>(
+        static_cast<Ticks>(flow.rng.exponential(1e12 / flow.qps)), 1);
+    const Ticks when = m.now() + gap;
+    if (when >= end)
+        return;
+    m.events().schedule(when, [this, &flow, end] {
+        Machine &mm = machine_;
+        const std::uint64_t id = flow.nextId++;
+        const bool get = flow.etc.isGet(flow.rng);
+        const std::uint32_t vsize = flow.etc.sampleValueSize(flow.rng);
+        const std::uint32_t req_bytes =
+            flow.etc.sampleKeySize(flow.rng) + (get ? 24 : 24 + vsize);
+        flow.inflight[id] = mm.now();
+        ++flow.stats.sent;
+        flow.port.send(NetPacket{
+            id, req_bytes,
+            (static_cast<std::uint64_t>(vsize) << 1) | (get ? 1 : 0)});
+        arm(flow, end);
+    }, "mutilate-arrival");
+}
+
+void
+OpenLoopEtcLoadgen::run(Ticks duration, Ticks grace)
+{
+    Machine &m = machine_;
+    const Ticks end = m.now() + duration;
+    for (auto &flowp : flows_) {
+        Flow &flow = *flowp;
+        flow.port.setReceiveHandler([&flow, &m](NetPacket pkt) {
+            auto it = flow.inflight.find(pkt.id);
+            if (it != flow.inflight.end()) {
+                flow.stats.latency.add(toUsec(m.now() - it->second));
+                flow.inflight.erase(it);
+                ++flow.stats.completed;
+            }
+        });
+        arm(flow, end);
+    }
+    const Ticks drained = end + grace;
+    while (m.now() < drained)
+        m.idleUntil(drained);
+    for (auto &flowp : flows_)
+        flowp->port.setReceiveHandler([](NetPacket) {});
+}
+
+} // namespace svtsim

@@ -32,10 +32,10 @@ Tpcc::profiles(int &count)
 Tpcc::Tpcc(VirtStack &stack, VirtioNetStack &net, NetFabric &fabric,
            VirtioBlkStack &blk, std::uint64_t seed,
            double l1_housekeeping_per_statement,
-           Ticks l1_housekeeping_cost)
+           Ticks l1_housekeeping_cost, double cpu_scale)
     : stack_(stack), net_(net), fabric_(fabric), blk_(blk), rng_(seed),
       housekeepingPerStatement_(l1_housekeeping_per_statement),
-      housekeepingCost_(l1_housekeeping_cost)
+      housekeepingCost_(l1_housekeeping_cost), cpuScale_(cpu_scale)
 {
 }
 
@@ -95,12 +95,20 @@ Tpcc::run(Ticks duration)
     Ticks t0 = machine.now();
     Ticks end = t0 + duration;
 
+    // Client-side events capture this frame by reference. Under a
+    // cluster the machine keeps draining its queue as an event
+    // follower after this function returns, so any straggler (a
+    // statement scheduled just before the loop exited) must become a
+    // no-op instead of touching a dead frame.
+    auto alive = std::make_shared<bool>(true);
+
     fabric_.setPeerHandler([&](NetPacket) {
         // A statement response arrived at the client.
         --client.remaining_statements;
         if (client.remaining_statements > 0) {
-            machine.events().scheduleIn(usec(25), [&] {
-                client_send_statement();
+            machine.events().scheduleIn(usec(25), [&, alive] {
+                if (*alive)
+                    client_send_statement();
             });
             return;
         }
@@ -108,8 +116,9 @@ Tpcc::run(Ticks duration)
         ++completed_txns;
         txn_ms.add(toUsec(machine.now() - client.txn_start) / 1000.0);
         if (machine.now() < end) {
-            machine.events().scheduleIn(usec(40), [&] {
-                client_begin_txn();
+            machine.events().scheduleIn(usec(40), [&, alive] {
+                if (*alive)
+                    client_begin_txn();
             });
         }
     });
@@ -155,7 +164,8 @@ Tpcc::run(Ticks duration)
             server_stmt_idx = 0;
         }
         // Parse/plan/execute.
-        api.compute(server_profile->statementCpu);
+        api.compute(static_cast<Ticks>(
+            server_profile->statementCpu * cpuScale_));
         // Spread the buffer-cache misses across the statements.
         int stmts = server_profile->statements;
         int reads_before = server_profile->diskReads *
@@ -184,6 +194,7 @@ Tpcc::run(Ticks duration)
                  (toSec(machine.now() - t0) / 60.0);
     result.meanTxnMsec = txn_ms.mean();
     // Detach handlers from this invocation's state.
+    *alive = false;
     fabric_.setPeerHandler([](NetPacket) {});
     net_.setRxHandler([](NetPacket) {});
     blk_.setCompletionHandler([](std::uint64_t) {});

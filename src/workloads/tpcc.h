@@ -54,11 +54,15 @@ class Tpcc
      * @param l1_housekeeping_per_statement Load-proportional L1-kernel
      *        work (vhost bookkeeping on the paired vCPU) per statement;
      *        serial in the baseline, overlapped under SW SVt.
+     * @param cpu_scale Multiplier on per-statement server CPU (the
+     *        fleet scheduler uses it to model SMT-sibling contention
+     *        under the sibling-share policy).
      */
     Tpcc(VirtStack &stack, VirtioNetStack &net, NetFabric &fabric,
          VirtioBlkStack &blk, std::uint64_t seed = 7,
          double l1_housekeeping_per_statement = 4.5,
-         Ticks l1_housekeeping_cost = usec(13));
+         Ticks l1_housekeeping_cost = usec(13),
+         double cpu_scale = 1.0);
 
     /** Run for @p duration; returns throughput in transactions/min. */
     TpccResult run(Ticks duration);
@@ -74,6 +78,7 @@ class Tpcc
     Rng rng_;
     double housekeepingPerStatement_;
     Ticks housekeepingCost_;
+    double cpuScale_;
 };
 
 } // namespace svtsim
