@@ -1,17 +1,25 @@
 #!/usr/bin/env python3
-"""Merge cluster_speed / fleet_scale runs into a BENCH_SPEED.json doc.
+"""Merge cluster_speed / fleet_scale / exit_elision runs into a
+BENCH_SPEED.json doc.
 
 The committed BENCH_SPEED.json holds the sim_speed workload records;
-cluster_speed and fleet_scale write their own JSON. This script grafts
-a run under a top-level key — "cluster" for a cluster_speed result,
-"fleet" for a fleet_scale sweep — so one artifact carries all of them,
-without ever regenerating (and thus churning) the sim_speed section.
+cluster_speed, fleet_scale and exit_elision write their own JSON. This
+script grafts a run under a top-level key — "cluster" for a
+cluster_speed result, "fleet" for a fleet_scale sweep, "elision" for
+an exit_elision sweep — so one artifact carries all of them, without
+ever regenerating (and thus churning) the sim_speed section.
 
 The fleet record keeps only the per-policy fleet rollup metrics (p99,
 QPS under SLA, tenants met, interference): they are deterministic for
 a given seed, so the committed copy doubles as a golden reference for
 the policy ordering (svt-pair beats isolate), while wall-clock numbers
 stay out of it.
+
+The elision record likewise keeps the per-scenario exit structure
+(p99 plus per-request external-interrupt / EOI-trap / elided counts):
+deterministic per seed, so the committed copy locks in the ladder's
+acceptance claim — posted interrupts + coalescing shrink the
+per-request nested exit counts.
 
 Usage: merge_bench_speed.py BENCH_SPEED.json RUN.json [OUT.json]
 
@@ -30,6 +38,15 @@ FLEET_KEYS = (
 )
 
 
+ELISION_KEYS = (
+    "p99_us",
+    "extint_per_req",
+    "wrmsr_per_req",
+    "elided_posted_per_req",
+    "elided_eoi_per_req",
+)
+
+
 def fleet_record(run):
     """Reduce a fleet_scale sweep JSON to its per-policy rollup."""
     policies = {}
@@ -39,6 +56,17 @@ def fleet_record(run):
             k: metrics[k] for k in FLEET_KEYS if k in metrics
         }
     return {"seed": run.get("seed"), "policies": policies}
+
+
+def elision_record(run):
+    """Reduce an exit_elision sweep JSON to its exit structure."""
+    scenarios = {}
+    for scenario in run.get("scenarios", []):
+        metrics = scenario.get("metrics", {})
+        scenarios[scenario["name"]] = {
+            k: metrics[k] for k in ELISION_KEYS if k in metrics
+        }
+    return {"seed": run.get("seed"), "scenarios": scenarios}
 
 
 def main(argv):
@@ -59,8 +87,11 @@ def main(argv):
         doc["cluster"] = run
     elif bench == "fleet_scale":
         doc["fleet"] = fleet_record(run)
+    elif bench == "exit_elision":
+        doc["elision"] = elision_record(run)
     else:
-        print(f"{run_path}: not a cluster_speed or fleet_scale result",
+        print(f"{run_path}: not a cluster_speed, fleet_scale or "
+              "exit_elision result",
               file=sys.stderr)
         return 1
 

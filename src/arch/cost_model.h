@@ -127,6 +127,13 @@ struct CostModel
     /** Software cost of preparing event injection (filling the
      *  VM-entry interruption-information field and checks). */
     Ticks injectPrepare = nsec(350);
+    /** Posted-interrupt recognition: the notification microcode scans
+     *  the posted-interrupt descriptor and merges PIR bits into the
+     *  running guest's IRR without a VM exit. */
+    Ticks postedIntrNotify = nsec(180);
+    /** x2APIC-virtualized EOI write: the store is satisfied from the
+     *  virtual-APIC page in microcode, no trap. */
+    Ticks virtApicEoi = nsec(50);
 
     // ---- SVt hardware (Table 2 machinery) ---------------------------
     /** Thread stall + fetch retarget on an SVt trap/resume: squash of
@@ -211,8 +218,9 @@ struct CostModel
     /** L1-internal wakeup of the userspace/vhost I/O thread per kick
      *  (scheduler + context switch inside L1; no exit). */
     Ticks l1IoThreadWake = usec(2.0);
-    /** L1-grade sensitive ops (EOI, irq bookkeeping) per received
-     *  packet/completion in L1's device backend. */
+    /** L1-grade sensitive ops (EOI, irq bookkeeping) per *interrupt
+     *  batch* handled by L1's device backend (one batch may carry many
+     *  packets/completions; the EOI is per interrupt, not per buffer). */
     int l1IoBackendTraps = 5;
     /** Non-shadowable VMCS accesses per event injection into L2
      *  (interrupt-window request, pending-event rollback). */

@@ -18,6 +18,8 @@ Lapic::Lapic(EventQueue &eq, const CostModel &costs, int id,
                                          "irq.raised");
         ipiMetric_ = metrics->counter(MetricScope::Machine, "irq",
                                       "irq.ipi");
+        postedMetric_ = metrics->counter(MetricScope::Machine, "irq",
+                                         "irq.posted");
     }
 }
 
@@ -103,6 +105,30 @@ void
 Lapic::clear(std::uint8_t vector)
 {
     pending_.reset(vector);
+}
+
+bool
+Lapic::postInterrupt(std::uint8_t vector)
+{
+    pir_.set(vector);
+    ++posted_;
+    postedMetric_.inc();
+    if (TraceSink *sink = eq_.traceSink(); SVTSIM_UNLIKELY(sink != nullptr))
+        sink->instant(TraceCategory::Irq, "irq.post", vector);
+    if (notifOutstanding_)
+        return false;
+    notifOutstanding_ = true;
+    return true;
+}
+
+int
+Lapic::syncPosted()
+{
+    int moved = static_cast<int>(pir_.count());
+    pending_ |= pir_;
+    pir_.reset();
+    notifOutstanding_ = false;
+    return moved;
 }
 
 void

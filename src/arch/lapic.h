@@ -70,6 +70,31 @@ class Lapic
     /** Clear a specific pending vector (used by emulated injection). */
     void clear(std::uint8_t vector);
 
+    // -- Posted interrupts (exit-elision ladder rung 1) ----------------
+    /**
+     * Set @p vector in the posted-interrupt request bitmap instead of
+     * the IRR. Returns true when a notification is needed (the bit is
+     * new and no notification is outstanding); the caller then models
+     * the notification cost and eventually calls syncPosted(). A false
+     * return means an earlier notification is still pending and will
+     * pick this vector up too (the ON-bit semantics of the hardware
+     * descriptor).
+     */
+    bool postInterrupt(std::uint8_t vector);
+
+    /**
+     * Merge the posted bitmap into the pending IRR and clear the
+     * outstanding-notification flag (the microcode's PIR scan at
+     * notification or VM entry). Returns the number of vectors moved.
+     */
+    int syncPosted();
+
+    /** Whether any posted vectors await a sync. */
+    bool hasPosted() const { return pir_.any(); }
+
+    /** Interrupts posted so far (for tests). */
+    std::uint64_t postedCount() const { return posted_; }
+
     // -- Inter-processor interrupts ------------------------------------
     /**
      * Send an IPI to @p dst; it becomes pending there after the
@@ -113,13 +138,20 @@ class Lapic
     const CostModel &costs_;
     int id_;
     std::bitset<256> pending_;
+    /** Posted-interrupt requests awaiting a syncPosted(). */
+    std::bitset<256> pir_;
+    /** The descriptor's outstanding-notification (ON) bit: set while a
+     *  notification is in flight, so repeated posts coalesce. */
+    bool notifOutstanding_ = false;
     EventId timerEvent_ = invalidEventId;
     /** In-flight IPI events targeting this APIC; the destructor
      *  deschedules them so their closures cannot outlive us. */
     std::vector<EventId> inflightIpis_;
     std::uint64_t raised_ = 0;
+    std::uint64_t posted_ = 0;
     Counter raisedMetric_;
     Counter ipiMetric_;
+    Counter postedMetric_;
 };
 
 } // namespace svtsim

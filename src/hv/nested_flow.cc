@@ -1052,6 +1052,15 @@ VirtStack::maybeInjectAndResumeL2(bool l2_was_running)
     machine_.consume(c.interruptDeliver);
     l2DeliveredVector_ = v;
     runIrqHandler(2, v);
+    if (config_.postedInterrupts) {
+        // x2APIC virtualization (exit-elision rung 1): the EOI write
+        // is satisfied from the virtual-APIC page even on the
+        // injection path, so the reflected Wrmsr round below never
+        // happens.
+        machine_.consume(c.virtApicEoi);
+        elidedEoiMetric_.inc();
+        return 1;
+    }
     // L2 signals EOI through the x2APIC MSR. APIC virtualization is
     // not available to nested guests, so this is a full reflected
     // exit (part of why interrupt-heavy I/O suffers so much in the

@@ -83,6 +83,54 @@ validateStackConfig(const StackConfig &config)
               "eagerStateLoad or pick a virtualized mode");
     }
 
+    if (config.postedInterrupts && !isNestedMode(config.mode)) {
+        fatal("StackConfig: postedInterrupts elides *nested* exits on "
+              "the L2 interrupt delivery path, which mode %s does not "
+              "take; clear postedInterrupts or use a nested mode "
+              "(nested-baseline, sw-svt, hw-svt)",
+              mode);
+    }
+
+    if (config.virtioQueues < 1 || config.virtioQueues > 8) {
+        fatal("StackConfig: virtioQueues must be in [1, 8] (got %d)",
+              config.virtioQueues);
+    }
+    if (config.virtioQueues > 1 && !isNestedMode(config.mode)) {
+        fatal("StackConfig: virtioQueues=%d configures multi-queue "
+              "virtio devices for the nested exit-elision sweep, which "
+              "mode %s does not run; use 1 queue or a nested mode",
+              config.virtioQueues, mode);
+    }
+
+    if (config.virtioCoalesceCount < 1) {
+        fatal("StackConfig: virtioCoalesceCount must be >= 1 (got %d); "
+              "1 fires an interrupt per completion (no coalescing)",
+              config.virtioCoalesceCount);
+    }
+    if (config.virtioCoalesceTimeout < 0) {
+        fatal("StackConfig: virtioCoalesceTimeout must be >= 0 (got "
+              "%lld); 0 disables the coalescing timer",
+              static_cast<long long>(config.virtioCoalesceTimeout));
+    }
+    if (config.virtioCoalesceCount > 1 &&
+        config.virtioCoalesceTimeout <= 0) {
+        fatal("StackConfig: virtioCoalesceCount=%d without a "
+              "virtioCoalesceTimeout would strand a tail batch smaller "
+              "than the count forever; set virtioCoalesceTimeout > 0",
+              config.virtioCoalesceCount);
+    }
+    bool coalesce_tuned = config.virtioCoalesceCount > 1 ||
+                          config.virtioCoalesceTimeout > 0;
+    if (coalesce_tuned && !isNestedMode(config.mode)) {
+        fatal("StackConfig: virtio interrupt coalescing (count=%d, "
+              "timeout=%lld) tunes the nested vhost completion path, "
+              "which mode %s does not have; reset the coalescing knobs "
+              "or use a nested mode",
+              config.virtioCoalesceCount,
+              static_cast<long long>(config.virtioCoalesceTimeout),
+              mode);
+    }
+
     if (config.coreIndex < 0) {
         fatal("StackConfig: coreIndex must be non-negative (got %d)",
               config.coreIndex);

@@ -89,6 +89,40 @@ struct StackConfig
      */
     bool svtDirectReflect = false;
 
+    /**
+     * First rung of the exit-elision ladder (ROADMAP item 3): posted
+     * interrupts + x2APIC virtualization for L2. Completion interrupts
+     * raised while L2 runs are written into the vCPU's posted-interrupt
+     * descriptor and recognized by the (simulated) microcode without a
+     * nested exit, and the guest's x2APIC EOI write is virtualized
+     * instead of trapping to L0. Only meaningful when there is an L2:
+     * requires a nested mode.
+     */
+    bool postedInterrupts = false;
+
+    /**
+     * Second rung: virtio-net/blk queue pairs. Each queue gets its own
+     * doorbell page, Virtqueue array and vhost submission pipeline;
+     * requests are sharded round-robin by request id. 1 reproduces the
+     * paper's single-queue devices; >1 requires a nested mode.
+     */
+    int virtioQueues = 1;
+
+    /**
+     * Per-queue completion-interrupt coalescing: the vhost backend
+     * fires the guest IRQ when this many completions are pending...
+     */
+    int virtioCoalesceCount = 1;
+
+    /**
+     * ...or when this much time has passed since the first undelivered
+     * completion, whichever comes first. The timer is an ordinary event
+     * on the machine's queue, so coalescing stays deterministic. 0
+     * disables the timer; virtioCoalesceCount > 1 then requires a
+     * timeout so a tail batch smaller than the count is never stranded.
+     */
+    Ticks virtioCoalesceTimeout = 0;
+
     /** Core on which the stack runs. */
     int coreIndex = 0;
 };
@@ -111,6 +145,14 @@ struct StackConfig
  *    issues vmread/vmwrite: requires a nested mode.
  *  - eagerStateLoad tunes VM-entry state loading: Native has no
  *    VM entries.
+ *  - postedInterrupts elides *nested* exits on the L2 interrupt path:
+ *    requires a nested mode.
+ *  - virtioQueues must be in [1, 8]; >1 requires a nested mode (the
+ *    sweep compares queue scaling across the nested stacks).
+ *  - virtioCoalesceCount >= 1, virtioCoalesceTimeout >= 0, and a
+ *    count > 1 requires a timeout > 0 (otherwise a tail batch smaller
+ *    than the count would never be delivered); non-default coalescing
+ *    requires a nested mode.
  *  - coreIndex must be non-negative (the upper bound is checked
  *    against the actual machine by VirtStack).
  */

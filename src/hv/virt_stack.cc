@@ -160,6 +160,12 @@ VirtStack::setupCommon()
                         "irq",
                         "irq.delivered.l" + std::to_string(level));
     }
+    elidedExitMetric_ =
+        reg.counter(MetricScope::L2, "hv", "l2.exit.elided.posted");
+    elidedEoiMetric_ =
+        reg.counter(MetricScope::L2, "hv", "l2.exit.elided.eoi");
+    postedNotifyMetric_ =
+        reg.counter(MetricScope::L2, "irq", "irq.posted.notify");
     // Re-open the aggregate vmx.exit slots the engines registered.
     vmxExitMetric_ =
         reg.counter(MetricScope::Machine, "vmx", "vmx.exit");
@@ -374,6 +380,14 @@ VirtStack::raiseL1Irq(std::uint8_t vector)
 void
 VirtStack::raiseL2Irq(std::uint8_t vector)
 {
+    if (config_.postedInterrupts) {
+        // Exit-elision rung 1: write the vector into the posted
+        // descriptor; the notification (if one is needed) is the
+        // pump's job, so a raise from any context stays cheap.
+        if (vcpuL2InL1_->lapic().postInterrupt(vector))
+            postedNotifyMetric_.inc();
+        return;
+    }
     vcpuL2InL1_->lapic().raise(vector);
 }
 
@@ -447,6 +461,23 @@ VirtStack::pumpInterrupts()
                     runnable = true;
                 continue;
             }
+            if (config_.postedInterrupts &&
+                (vcpuL2InL1_->lapic().hasPosted() ||
+                 vcpuL2InL1_->lapic().hasPending())) {
+                if (l2Running_) {
+                    // Rung 1 of the exit-elision ladder: the
+                    // notification lands on the running L2 without a
+                    // nested exit.
+                    total += deliverPostedToL2();
+                    runnable = true;
+                    continue;
+                }
+                // L2 halted: nothing recognizes the notification, so
+                // sync the PIR into the IRR and fall through to the
+                // conventional injection path below (no interrupt is
+                // ever lost to a halted vCPU).
+                vcpuL2InL1_->lapic().syncPosted();
+            }
             if (vcpuL2InL1_->lapic().hasPending()) {
                 if (l2Running_)
                     exitFromL2(ExitInfo{
@@ -485,6 +516,38 @@ VirtStack::deliverL1Irqs()
     // Piggyback injection of any L2 vectors the handlers raised;
     // otherwise the L1 vCPU idles again.
     n += maybeInjectAndResumeL2(/*l2_was_running=*/false);
+    return n;
+}
+
+int
+VirtStack::deliverPostedToL2()
+{
+    if (!l2Running_)
+        panic("deliverPostedToL2 with L2 halted");
+    const CostModel &costs = machine_.costs();
+    Lapic &apic = vcpuL2InL1_->lapic();
+    // The notification microcode scans the descriptor and merges the
+    // PIR into the IRR; delivery then goes through the guest IDT with
+    // no VM exit at any level.
+    apic.syncPosted();
+    int n = 0;
+    int v;
+    while ((v = apic.ack()) >= 0) {
+        machine_.consume(costs.postedIntrNotify +
+                         costs.interruptDeliver);
+        elidedExitMetric_.inc();
+        l2DeliveredVector_ = v;
+        runIrqHandler(2, v);
+        // x2APIC-virtualized EOI: the write is satisfied from the
+        // virtual-APIC page, so the trap-to-L1-to-L0 round is elided.
+        machine_.consume(costs.virtApicEoi);
+        elidedEoiMetric_.inc();
+        ++n;
+        if (!l2Running_)
+            break;
+        // The handler may have completed more I/O and posted again.
+        apic.syncPosted();
+    }
     return n;
 }
 

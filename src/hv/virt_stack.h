@@ -271,6 +271,14 @@ class VirtStack
      */
     int maybeInjectAndResumeL2(bool l2_was_running);
 
+    /**
+     * Posted-interrupt delivery into a *running* L2: sync the PIR into
+     * the IRR and run the L2 handlers without a nested exit (the
+     * notification microcode path). Requires l2Running_.
+     * @return Number of vectors delivered.
+     */
+    int deliverPostedToL2();
+
     void runIrqHandler(int level, int vector);
 
     /** Single-level (mode Single) interrupt delivery. */
@@ -407,6 +415,12 @@ class VirtStack
     Counter svtRepromoteMetric_;
     Counter svtWatchdogRetryMetric_;
     std::array<Counter, 3> irqDeliveredMetric_;
+    /** Exit-elision ladder: nested exits avoided by posted-interrupt
+     *  delivery, EOI traps avoided by x2APIC virtualization, and
+     *  posted-interrupt notifications sent. */
+    Counter elidedExitMetric_;
+    Counter elidedEoiMetric_;
+    Counter postedNotifyMetric_;
     /** The HW SVt exit path bumps the same vmx.exit* slots VmxEngine
      *  registers (an SVt trap replaces the exit microcode). */
     Counter vmxExitMetric_;

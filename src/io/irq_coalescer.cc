@@ -1,0 +1,84 @@
+#include "io/irq_coalescer.h"
+
+#include <utility>
+
+#include "sim/log.h"
+#include "sim/trace.h"
+
+namespace svtsim {
+
+IrqCoalescer::IrqCoalescer(Machine &machine, std::string name,
+                           int count, Ticks timeout,
+                           std::function<void()> fire)
+    : machine_(machine), name_(std::move(name)), count_(count),
+      timeout_(timeout), fire_(std::move(fire))
+{
+    if (count_ < 1)
+        fatal("IrqCoalescer %s: count must be >= 1 (got %d)",
+              name_.c_str(), count_);
+    if (count_ > 1 && timeout_ <= 0)
+        fatal("IrqCoalescer %s: count %d needs a timeout so a tail "
+              "batch smaller than the count is never stranded",
+              name_.c_str(), count_);
+    MetricsRegistry &reg = machine_.metrics();
+    countFireMetric_ = reg.counter(MetricScope::Machine, "virtio",
+                                   name_ + ".count_fire");
+    timerFireMetric_ = reg.counter(MetricScope::Machine, "virtio",
+                                   name_ + ".timer_fire");
+    emptyTimerMetric_ = reg.counter(MetricScope::Machine, "virtio",
+                                    name_ + ".empty_timer");
+    notedMetric_ = reg.counter(MetricScope::Machine, "virtio",
+                               name_ + ".noted");
+    batchMetric_ = reg.histogram(MetricScope::Machine, "virtio",
+                                 name_ + ".batch");
+}
+
+IrqCoalescer::~IrqCoalescer()
+{
+    if (timer_ != invalidEventId)
+        machine_.events().deschedule(timer_);
+}
+
+void
+IrqCoalescer::note()
+{
+    ++pending_;
+    notedMetric_.inc();
+    if (pending_ >= count_) {
+        countFireMetric_.inc();
+        fireNow();
+        return;
+    }
+    // Below the count threshold: make sure a timer bounds the wait
+    // from the *first* undelivered completion.
+    if (timer_ == invalidEventId) {
+        timer_ = machine_.events().scheduleIn(
+            timeout_, [this] { onTimer(); }, "irq-coalesce");
+    }
+}
+
+void
+IrqCoalescer::onTimer()
+{
+    timer_ = invalidEventId;
+    if (pending_ == 0) {
+        // A count-threshold fire already delivered this batch; the
+        // leftover timer is a deliberate no-op (see class comment).
+        emptyTimerMetric_.inc();
+        return;
+    }
+    timerFireMetric_.inc();
+    fireNow();
+}
+
+void
+IrqCoalescer::fireNow()
+{
+    batchMetric_.record(pending_);
+    SVTSIM_TRACE_INSTANT(machine_.traceSink(), TraceCategory::Irq,
+                         "irq.coalesce." + name_);
+    pending_ = 0;
+    fire_();
+}
+
+} // namespace svtsim

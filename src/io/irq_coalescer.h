@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Time/count-based completion-interrupt coalescing for the vhost
+ * pipelines (exit-elision ladder rung 2).
+ */
+
+#ifndef SVTSIM_IO_IRQ_COALESCER_H
+#define SVTSIM_IO_IRQ_COALESCER_H
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "arch/machine.h"
+
+namespace svtsim {
+
+/**
+ * Per-queue interrupt coalescer: the device backend calls note() once
+ * per completion pushed to the used ring, and the coalescer invokes
+ * the fire callback (which raises the guest IRQ) when either
+ *
+ *  - `count` completions are pending (count threshold), or
+ *  - `timeout` has elapsed since the first undelivered completion
+ *    (the timer is a one-shot event on the machine's queue).
+ *
+ * Determinism: the timer is an ordinary simulated event, so firing
+ * order is part of the event-queue total order — coalescing produces
+ * byte-identical schedules for any worker count. A count-threshold
+ * fire intentionally leaves an armed timer in place; it later fires
+ * with an empty batch and does nothing except bump the
+ * `<name>.empty_timer` counter (re-arming on every fire would make
+ * the hot path pay a deschedule per batch for no modeled benefit —
+ * real NICs show the same spurious-timer behavior).
+ *
+ * count <= 1 with timeout == 0 degenerates to an interrupt per
+ * completion (the ladder's baseline).
+ */
+class IrqCoalescer
+{
+  public:
+    /**
+     * @param machine Event queue + metrics.
+     * @param name Counter prefix, e.g. "l2.net.rx.q0.coalesce".
+     * @param count Completions per interrupt (>= 1).
+     * @param timeout Max delay from first undelivered completion
+     *        (0 disables the timer; count must then be 1).
+     * @param fire Raises the guest interrupt.
+     */
+    IrqCoalescer(Machine &machine, std::string name, int count,
+                 Ticks timeout, std::function<void()> fire);
+
+    ~IrqCoalescer();
+
+    IrqCoalescer(const IrqCoalescer &) = delete;
+    IrqCoalescer &operator=(const IrqCoalescer &) = delete;
+
+    /** One completion is ready for the guest; maybe fire. */
+    void note();
+
+    /** Completions noted but not yet delivered by a fire. */
+    int pending() const { return pending_; }
+
+    bool timerArmed() const { return timer_ != invalidEventId; }
+
+  private:
+    void onTimer();
+    void fireNow();
+
+    Machine &machine_;
+    std::string name_;
+    int count_;
+    Ticks timeout_;
+    std::function<void()> fire_;
+    int pending_ = 0;
+    EventId timer_ = invalidEventId;
+    Counter countFireMetric_;
+    Counter timerFireMetric_;
+    Counter emptyTimerMetric_;
+    Counter notedMetric_;
+    LatencyHistogram batchMetric_;
+};
+
+} // namespace svtsim
+
+#endif // SVTSIM_IO_IRQ_COALESCER_H

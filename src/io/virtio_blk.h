@@ -6,16 +6,25 @@
  *   L2 driver --kick--> L1 vhost-blk (L2 image on L1's ramfs)
  *      --kick--> L0 vhost-blk --> RamDisk
  *   completion --> L0 IRQ --> L1 IRQ --> L2 IRQ --> completion cb
+ *
+ * With StackConfig::virtioQueues > 1 the L2-facing device becomes a
+ * multi-queue virtio-blk: per-queue doorbell pages, submission and
+ * completion Virtqueues and L1 backend workers, sharded by request id.
+ * Completion interrupts per queue run through an IrqCoalescer
+ * (exit-elision ladder rung 2).
  */
 
 #ifndef SVTSIM_IO_VIRTIO_BLK_H
 #define SVTSIM_IO_VIRTIO_BLK_H
 
 #include <functional>
+#include <memory>
 #include <unordered_map>
+#include <vector>
 
 #include "hv/virt_stack.h"
 #include "io/async_stage.h"
+#include "io/irq_coalescer.h"
 #include "io/ramdisk.h"
 #include "io/virtio_net.h" // ioaddr
 #include "io/virtqueue.h"
@@ -32,13 +41,21 @@ class VirtioBlkStack
 
     // -- L2 guest driver interface --------------------------------------
     /** Submit a request; the completion handler fires in L2 interrupt
-     *  context. */
+     *  context. Multi-queue shards by @p id. */
     void submit(std::uint64_t id, std::uint64_t lba,
                 std::uint32_t bytes, bool write);
 
     void setCompletionHandler(std::function<void(std::uint64_t)> fn);
 
     std::uint64_t completedCount() const { return completed_; }
+    int queues() const { return queues_; }
+
+    /** L1 virtio-blk interrupt batches handled so far. The L1-grade
+     *  EOI/housekeeping traps are charged once per batch (not per
+     *  completion), so `l0.exit.WRMSR` grows by exactly
+     *  l1IoBackendTraps per batch — the invariant the EOI-attribution
+     *  metrics test locks in. */
+    std::uint64_t l1IrqBatches() const { return l1IrqBatches_; }
 
   private:
     struct Request
@@ -48,11 +65,29 @@ class VirtioBlkStack
         bool write;
     };
 
-    std::uint64_t l1VhostBlk(Gpa addr, int size, std::uint64_t value,
-                             bool is_write);
-    /** Drain L2's queue into the off-vCPU backend pipeline; lingers
+    /** Per-queue state: submission + completion rings and the L1
+     *  backend worker that services the submissions. */
+    struct BlkQueue
+    {
+        BlkQueue(Machine &machine, const std::string &qn,
+                 const std::string &cn)
+            : ring(machine, qn), complq(machine, cn)
+        {
+        }
+
+        Virtqueue ring;
+        Virtqueue complq;
+        /** L1's vhost-blk / file-backend worker (separate vCPU). */
+        AsyncStage l1Worker;
+        bool pollScheduled = false;
+        Ticks lastDrain = -sec(1);
+    };
+
+    std::uint64_t l1VhostBlk(int q, Gpa addr, int size,
+                             std::uint64_t value, bool is_write);
+    /** Drain queue @p q into the off-vCPU backend pipeline; lingers
      *  like the net path (QEMU iothread adaptive polling). */
-    void vhostBlkPoll();
+    void vhostBlkPoll(int q);
     void onDiskComplete(std::uint64_t id);
     void l0DiskIrq();
     void l1BlkIrq();
@@ -60,19 +95,20 @@ class VirtioBlkStack
 
     VirtStack &stack_;
     RamDisk &disk_;
-    Virtqueue l2Q_;
+    int queues_;
+    std::vector<std::unique_ptr<BlkQueue>> qs_;
+    /** Per-queue completion-interrupt coalescing. */
+    std::vector<std::unique_ptr<IrqCoalescer>> coalesce_;
     Virtqueue l1Compl_;
-    Virtqueue l2Compl_;
-    /** L1's vhost-blk / file-backend worker (separate vCPU). */
-    AsyncStage l1BlkWorker_;
-    /** L0's vhost-blk worker (separate core). */
+    /** L0's vhost-blk worker (separate core), shared (one disk). */
     AsyncStage l0BlkWorker_;
-    bool blkPollScheduled_ = false;
-    Ticks lastBlkDrain_ = -sec(1);
     std::deque<std::uint64_t> l0Backlog_;
     std::unordered_map<std::uint64_t, Request> inflight_;
     std::function<void(std::uint64_t)> completionHandler_;
     std::uint64_t completed_ = 0;
+    std::uint64_t l1IrqBatches_ = 0;
+    /** Polls re-armed by the idle-tick guard (see virtio-net). */
+    Counter pollRearmMetric_;
 };
 
 } // namespace svtsim

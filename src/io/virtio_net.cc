@@ -1,26 +1,58 @@
 #include "io/virtio_net.h"
 
 #include <algorithm>
+#include <string>
 
 #include "hv/vectors.h"
 #include "sim/log.h"
 
 namespace svtsim {
 
+namespace {
+
+/** Queue-suffixed counter prefix; the single-queue name matches the
+ *  pre-multi-queue schema ("l2.net.tx", not "l2.net.tx.q0"). */
+std::string
+qname(const char *base, int q, int queues)
+{
+    if (queues == 1)
+        return base;
+    return std::string(base) + ".q" + std::to_string(q);
+}
+
+} // namespace
+
 VirtioNetStack::VirtioNetStack(VirtStack &stack, NetPort &port)
     : stack_(stack), port_(port),
-      l2Tx_(stack.machine(), "l2.net.tx"),
-      l2Rx_(stack.machine(), "l2.net.rx"),
+      queues_(stack.config().virtioQueues),
       l1Rx_(stack.machine(), "l1.net.rx")
 {
-    rxDropMetric_ = stack_.machine().metrics().counter(
-        MetricScope::Machine, "virtio", "net.rx_drop");
-    // L2's device: emulated by L1 (vhost in L1's kernel).
+    Machine &m = stack_.machine();
+    const StackConfig &cfg = stack_.config();
+    for (int q = 0; q < queues_; ++q) {
+        tx_.push_back(std::make_unique<TxQueue>(
+            m, qname("l2.net.tx", q, queues_)));
+        l2Rx_.push_back(std::make_unique<Virtqueue>(
+            m, qname("l2.net.rx", q, queues_)));
+        rxCoalesce_.push_back(std::make_unique<IrqCoalescer>(
+            m, qname("l2.net.rx", q, queues_) + ".coalesce",
+            cfg.virtioCoalesceCount, cfg.virtioCoalesceTimeout,
+            [this] { stack_.raiseL2Irq(vec::l2VirtioNet); }));
+    }
+    rxDropMetric_ = m.metrics().counter(MetricScope::Machine, "virtio",
+                                        "net.rx_drop");
+    pollRearmMetric_ = m.metrics().counter(
+        MetricScope::Machine, "virtio", "net.poll_rearm");
+    // L2's device: emulated by L1 (vhost in L1's kernel). One doorbell
+    // page per queue.
     stack_.l1Hv().registerMmio(
-        ioaddr::l2NetDoorbell, pageSize,
+        ioaddr::l2NetDoorbell,
+        static_cast<std::uint64_t>(queues_) * pageSize,
         [this](Gpa addr, int size, std::uint64_t value,
                bool is_write) {
-            return l1VhostTx(addr, size, value, is_write);
+            int q = static_cast<int>((addr - ioaddr::l2NetDoorbell) /
+                                     pageSize);
+            return l1VhostTx(q, addr, size, value, is_write);
         });
     // L1's own virtio-net doorbell: its vhost thread kicks it from a
     // different vCPU, so this handler only exists for completeness.
@@ -50,36 +82,43 @@ VirtioNetStack::send(std::uint32_t bytes, std::uint64_t id,
     GuestApi &l2 = stack_.apiAt(2);
     // Guest TCP/IP stack per segment.
     l2.compute(stack_.machine().costs().tcpStackPerSegment);
-    bool kick = l2Tx_.post(VirtioBuffer{id, bytes, payload, false});
+    int q = static_cast<int>(id % static_cast<std::uint64_t>(queues_));
+    bool kick = tx_[static_cast<std::size_t>(q)]->ring.post(
+        VirtioBuffer{id, bytes, payload, false});
     if (kick)
-        l2.mmioWrite(ioaddr::l2NetDoorbell, 4, 1);
+        l2.mmioWrite(ioaddr::l2NetDoorbell +
+                         static_cast<Gpa>(q) * pageSize,
+                     4, 1);
     ++txPackets_;
 }
 
 std::uint64_t
-VirtioNetStack::l1VhostTx(Gpa, int, std::uint64_t, bool)
+VirtioNetStack::l1VhostTx(int q, Gpa, int, std::uint64_t, bool)
 {
     // Runs in L1 context inside the reflected EPT_MISCONFIG handler.
     // KVM's side of the kick only signals the vhost worker's eventfd;
     // the packet processing itself happens on the vhost threads (L1)
     // and L0's vhost-net, which run on other vCPUs/cores: wall-clock
     // pipeline delay, not measured-vCPU time.
+    if (q < 0 || q >= queues_)
+        panic("virtio-net doorbell for queue %d of %d", q, queues_);
     GuestApi &l1 = stack_.apiAt(1);
     l1.compute(nsec(400)); // eventfd signal
-    vhostTxPoll();
+    vhostTxPoll(q);
     return 0;
 }
 
 void
-VirtioNetStack::vhostTxPoll()
+VirtioNetStack::vhostTxPoll(int q)
 {
     Machine &m = stack_.machine();
     const CostModel &c = m.costs();
+    TxQueue &txq = *tx_[static_cast<std::size_t>(q)];
     VirtioBuffer buf;
     bool drained_any = false;
-    while (l2Tx_.takeQuiet(buf)) {
+    while (txq.ring.takeQuiet(buf)) {
         drained_any = true;
-        Ticks l1_done = l1TxVhost_.completeAt(
+        Ticks l1_done = txq.l1Vhost.completeAt(
             m.now() + c.l1IoThreadWake,
             c.vhostPerBuffer +
                 static_cast<Ticks>(buf.bytes) * c.netCopyPerByte);
@@ -92,35 +131,44 @@ VirtioNetStack::vhostTxPoll()
         m.events().schedule(l0_done,
                             [port, pkt] { port->send(pkt); },
                             "vhost-tx");
-        l2Tx_.completeQuiet(buf);
-        ++txUnreaped_;
+        txq.ring.completeQuiet(buf);
+        ++txq.unreaped;
     }
     if (drained_any)
-        lastTxDrain_ = m.now();
+        txq.lastDrain = m.now();
     // The worker keeps polling the ring while its pipeline is busy
     // (virtio EVENT_IDX) and for a busy-poll linger window after the
     // last drained buffer (vhost busyloop_timeout): a bulk sender
     // posts descriptors without paying a doorbell exit per segment.
-    bool pipeline_busy = l1TxVhost_.freeAt() > m.now();
-    bool lingering = m.now() - lastTxDrain_ <= c.vhostLingerPoll;
-    if (pipeline_busy || lingering) {
-        l2Tx_.deviceBusy();
-        if (!txPollScheduled_) {
-            txPollScheduled_ = true;
-            Ticks cadence = std::max(l1TxVhost_.freeAt() - m.now(),
+    bool pipeline_busy = txq.l1Vhost.freeAt() > m.now();
+    bool lingering = m.now() - txq.lastDrain <= c.vhostLingerPoll;
+    bool repoll = pipeline_busy || lingering;
+    if (!repoll && !txq.ring.availEmpty()) {
+        // A descriptor landed at the exact tick the worker drained
+        // the ring empty: its kick was suppressed while we ran, so
+        // going idle now would strand it. Re-arm one more poll.
+        repoll = true;
+        pollRearmMetric_.inc();
+    }
+    if (repoll) {
+        txq.ring.deviceBusy();
+        if (!txq.pollScheduled) {
+            txq.pollScheduled = true;
+            Ticks cadence = std::max(txq.l1Vhost.freeAt() - m.now(),
                                      usec(10));
-            m.events().scheduleIn(cadence, [this] {
-                txPollScheduled_ = false;
-                vhostTxPoll();
+            m.events().scheduleIn(cadence, [this, q] {
+                tx_[static_cast<std::size_t>(q)]->pollScheduled =
+                    false;
+                vhostTxPoll(q);
             }, "vhost-tx-poll");
         }
     }
     // Tx-completion interrupts are heavily suppressed (NAPI tx): the
     // guest reaps descriptors when the worker goes idle or when a
     // large batch has accumulated, not per segment.
-    if (txUnreaped_ > 0 &&
-        ((!pipeline_busy && !lingering) || txUnreaped_ >= 64)) {
-        txUnreaped_ = 0;
+    if (txq.unreaped > 0 &&
+        ((!pipeline_busy && !lingering) || txq.unreaped >= 64)) {
+        txq.unreaped = 0;
         stack_.raiseL2Irq(vec::l2VirtioNet);
     }
 }
@@ -162,7 +210,8 @@ void
 VirtioNetStack::l1NetIrq()
 {
     // L1 context (its vCPU took the virtio-net interrupt): receive,
-    // then the vhost backend for L2 forwards into L2's rx ring.
+    // then the vhost backend for L2 forwards into L2's rx rings
+    // (sharded by packet id, the flow-hash stand-in).
     GuestApi &l1 = stack_.apiAt(1);
     const CostModel &c = stack_.machine().costs();
     VirtioBuffer buf;
@@ -170,14 +219,17 @@ VirtioNetStack::l1NetIrq()
     while (l1Rx_.popUsed(buf)) {
         l1.compute(c.vhostPerBuffer +
                    static_cast<Ticks>(buf.bytes) * c.netCopyPerByte);
-        if (l2Rx_.usedFull()) {
+        auto q = static_cast<std::size_t>(
+            buf.id % static_cast<std::uint64_t>(queues_));
+        if (l2Rx_[q]->usedFull()) {
             // The guest is not keeping up: the ring is full and the
             // packet is dropped, exactly like an overloaded virtio
             // queue.
             rxDropMetric_.inc();
             continue;
         }
-        l2Rx_.complete(buf);
+        l2Rx_[q]->complete(buf);
+        rxCoalesce_[q]->note();
         any = true;
     }
     if (any) {
@@ -185,7 +237,6 @@ VirtioNetStack::l1NetIrq()
         // irqfd signalling, TPR updates).
         for (int i = 0; i < c.l1IoBackendTraps; ++i)
             l1.wrmsr(msr::ia32X2apicEoi, 0);
-        stack_.raiseL2Irq(vec::l2VirtioNet);
     }
 }
 
@@ -196,13 +247,16 @@ VirtioNetStack::l2NetIrq()
     const CostModel &c = stack_.machine().costs();
     VirtioBuffer buf;
     // Reap tx completions (skb freeing).
-    while (l2Tx_.popUsed(buf))
-        l2.compute(c.memAccess * 8);
-    while (l2Rx_.popUsed(buf)) {
-        l2.compute(c.tcpStackPerSegment);
-        ++rxPackets_;
-        if (rxHandler_)
-            rxHandler_(NetPacket{buf.id, buf.bytes, buf.payload});
+    for (auto &txq : tx_)
+        while (txq->ring.popUsed(buf))
+            l2.compute(c.memAccess * 8);
+    for (auto &rxq : l2Rx_) {
+        while (rxq->popUsed(buf)) {
+            l2.compute(c.tcpStackPerSegment);
+            ++rxPackets_;
+            if (rxHandler_)
+                rxHandler_(NetPacket{buf.id, buf.bytes, buf.payload});
+        }
     }
 }
 

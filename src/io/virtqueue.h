@@ -97,6 +97,12 @@ class Virtqueue
      *  kick suppression while the backend pipeline is busy). */
     void deviceBusy() { deviceRunning_ = true; }
 
+    /** Whether the device still claims the ring (the next post() is
+     *  kick-suppressed). Device backends use this to verify the
+     *  no-stall invariant: a non-empty avail ring with the device
+     *  idle means a lost kick. */
+    bool deviceRunning() const { return deviceRunning_; }
+
     // -- Statistics ------------------------------------------------------
     std::uint64_t postedCount() const { return posted_; }
     std::uint64_t kicksNeeded() const { return kicks_; }
